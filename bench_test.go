@@ -1,0 +1,392 @@
+// Package mlbench's root benchmark suite: one testing.B benchmark per
+// table/figure of the paper's evaluation, plus ablation benches for the
+// design choices the paper discusses (super vertices, combiners, caching,
+// the SimSQL join quirk) and micro-benches for the platform engines.
+//
+// Each figure benchmark runs a reduced configuration of the same code the
+// harness uses and reports the virtual per-iteration seconds as the
+// "viter_s" metric — the quantity the paper's tables print. Run the full
+// tables with `go run ./cmd/mlbench`.
+package mlbench
+
+import (
+	"testing"
+
+	"mlbench/internal/dataflow"
+	"mlbench/internal/randgen"
+	"mlbench/internal/sim"
+	"mlbench/internal/tasks/gmmtask"
+	"mlbench/internal/tasks/hmmtask"
+	"mlbench/internal/tasks/imputetask"
+	"mlbench/internal/tasks/lassotask"
+	"mlbench/internal/tasks/ldatask"
+	"mlbench/internal/tasks/mrftask"
+	"mlbench/internal/tasks/task"
+)
+
+// benchCluster builds a small 5-machine cluster at a high scale-down so
+// real work stays tiny.
+func benchCluster(scale float64) *sim.Cluster {
+	cfg := sim.DefaultConfig(5)
+	cfg.Scale = scale
+	return sim.New(cfg)
+}
+
+// reportRun reports the virtual times of a task run as benchmark metrics.
+func reportRun(b *testing.B, res *task.Result, err error) {
+	b.Helper()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(res.AvgIterSec(), "viter_s")
+	b.ReportMetric(res.InitSec, "vinit_s")
+}
+
+// --- Figure 1: GMM ---
+
+func BenchmarkFig1aGMMInitialSimSQL(b *testing.B) {
+	cfg := gmmtask.Config{K: 5, D: 10, PointsPerMachine: 2_000_000, Iterations: 1}
+	for i := 0; i < b.N; i++ {
+		res, err := gmmtask.RunSimSQL(benchCluster(10_000), cfg)
+		reportRun(b, res, err)
+	}
+}
+
+func BenchmarkFig1aGMMInitialSparkPython(b *testing.B) {
+	cfg := gmmtask.Config{K: 5, D: 10, PointsPerMachine: 2_000_000, Iterations: 1}
+	for i := 0; i < b.N; i++ {
+		res, err := gmmtask.RunSpark(benchCluster(10_000), cfg, sim.ProfilePython)
+		reportRun(b, res, err)
+	}
+}
+
+func BenchmarkFig1aGMMInitialGiraph(b *testing.B) {
+	cfg := gmmtask.Config{K: 5, D: 10, PointsPerMachine: 2_000_000, Iterations: 1}
+	for i := 0; i < b.N; i++ {
+		res, err := gmmtask.RunGiraph(benchCluster(10_000), cfg)
+		reportRun(b, res, err)
+	}
+}
+
+func BenchmarkFig1bGMMSparkJava(b *testing.B) {
+	cfg := gmmtask.Config{K: 5, D: 10, PointsPerMachine: 2_000_000, Iterations: 1}
+	for i := 0; i < b.N; i++ {
+		res, err := gmmtask.RunSpark(benchCluster(10_000), cfg, sim.ProfileJava)
+		reportRun(b, res, err)
+	}
+}
+
+func BenchmarkFig1bGMMGraphLabSuperVertex(b *testing.B) {
+	cfg := gmmtask.Config{K: 5, D: 10, PointsPerMachine: 2_000_000, Iterations: 1, SuperVertex: true, SVPerMachine: 16}
+	for i := 0; i < b.N; i++ {
+		res, err := gmmtask.RunGraphLab(benchCluster(10_000), cfg)
+		reportRun(b, res, err)
+	}
+}
+
+func BenchmarkFig1cGMMSimSQLSuperVertex(b *testing.B) {
+	cfg := gmmtask.Config{K: 5, D: 10, PointsPerMachine: 2_000_000, Iterations: 1, SuperVertex: true}
+	for i := 0; i < b.N; i++ {
+		res, err := gmmtask.RunSimSQL(benchCluster(10_000), cfg)
+		reportRun(b, res, err)
+	}
+}
+
+// --- Figure 2: Bayesian Lasso ---
+
+func BenchmarkFig2LassoSimSQL(b *testing.B) {
+	cfg := lassotask.Config{P: 200, PointsPerMachine: 100_000, Iterations: 1}
+	for i := 0; i < b.N; i++ {
+		res, err := lassotask.RunSimSQL(benchCluster(1000), cfg)
+		reportRun(b, res, err)
+	}
+}
+
+func BenchmarkFig2LassoGraphLab(b *testing.B) {
+	cfg := lassotask.Config{P: 200, PointsPerMachine: 100_000, Iterations: 1}
+	for i := 0; i < b.N; i++ {
+		res, err := lassotask.RunGraphLab(benchCluster(1000), cfg)
+		reportRun(b, res, err)
+	}
+}
+
+func BenchmarkFig2LassoSpark(b *testing.B) {
+	cfg := lassotask.Config{P: 200, PointsPerMachine: 100_000, Iterations: 1}
+	for i := 0; i < b.N; i++ {
+		res, err := lassotask.RunSpark(benchCluster(1000), cfg)
+		reportRun(b, res, err)
+	}
+}
+
+func BenchmarkFig2LassoGiraphSuperVertex(b *testing.B) {
+	cfg := lassotask.Config{P: 200, PointsPerMachine: 100_000, Iterations: 1, SuperVertex: true}
+	for i := 0; i < b.N; i++ {
+		res, err := lassotask.RunGiraph(benchCluster(1000), cfg)
+		reportRun(b, res, err)
+	}
+}
+
+// --- Figure 3: HMM ---
+
+func hmmBenchCfg() hmmtask.Config {
+	return hmmtask.Config{K: 10, V: 2000, DocsPerMachine: 500_000, AvgDocLen: 100, Iterations: 1, SVPerMachine: 10}
+}
+
+func BenchmarkFig3aHMMWordSimSQL(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := hmmtask.RunSimSQL(benchCluster(25_000), hmmBenchCfg(), hmmtask.VariantWord)
+		reportRun(b, res, err)
+	}
+}
+
+func BenchmarkFig3aHMMDocSimSQL(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := hmmtask.RunSimSQL(benchCluster(25_000), hmmBenchCfg(), hmmtask.VariantDoc)
+		reportRun(b, res, err)
+	}
+}
+
+func BenchmarkFig3aHMMDocSpark(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := hmmtask.RunSpark(benchCluster(25_000), hmmBenchCfg(), hmmtask.VariantDoc)
+		reportRun(b, res, err)
+	}
+}
+
+func BenchmarkFig3aHMMDocGiraph(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := hmmtask.RunGiraph(benchCluster(25_000), hmmBenchCfg(), hmmtask.VariantDoc)
+		reportRun(b, res, err)
+	}
+}
+
+func BenchmarkFig3bHMMSuperVertexGiraph(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := hmmtask.RunGiraph(benchCluster(25_000), hmmBenchCfg(), hmmtask.VariantSV)
+		reportRun(b, res, err)
+	}
+}
+
+func BenchmarkFig3bHMMSuperVertexGraphLab(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := hmmtask.RunGraphLab(benchCluster(25_000), hmmBenchCfg())
+		reportRun(b, res, err)
+	}
+}
+
+func BenchmarkFig3bHMMSuperVertexSimSQL(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := hmmtask.RunSimSQL(benchCluster(25_000), hmmBenchCfg(), hmmtask.VariantSV)
+		reportRun(b, res, err)
+	}
+}
+
+// --- Figure 4: LDA ---
+
+func ldaBenchCfg() ldatask.Config {
+	return ldatask.Config{T: 20, V: 2000, DocsPerMachine: 500_000, AvgDocLen: 100, Iterations: 1, SVPerMachine: 10}
+}
+
+func BenchmarkFig4aLDAWordSimSQL(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := ldatask.RunSimSQL(benchCluster(25_000), ldaBenchCfg(), ldatask.VariantWord)
+		reportRun(b, res, err)
+	}
+}
+
+func BenchmarkFig4aLDADocSimSQL(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := ldatask.RunSimSQL(benchCluster(25_000), ldaBenchCfg(), ldatask.VariantDoc)
+		reportRun(b, res, err)
+	}
+}
+
+func BenchmarkFig4aLDADocGiraph(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := ldatask.RunGiraph(benchCluster(25_000), ldaBenchCfg(), ldatask.VariantDoc)
+		reportRun(b, res, err)
+	}
+}
+
+func BenchmarkFig4bLDASuperVertexSimSQL(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := ldatask.RunSimSQL(benchCluster(25_000), ldaBenchCfg(), ldatask.VariantSV)
+		reportRun(b, res, err)
+	}
+}
+
+func BenchmarkFig4bLDASuperVertexGiraph(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := ldatask.RunGiraph(benchCluster(25_000), ldaBenchCfg(), ldatask.VariantSV)
+		reportRun(b, res, err)
+	}
+}
+
+// --- Figure 5: Gaussian imputation ---
+
+func BenchmarkFig5ImputationSpark(b *testing.B) {
+	cfg := imputetask.Config{K: 5, D: 8, PointsPerMachine: 2_000_000, Iterations: 1, SVPerMachine: 10}
+	for i := 0; i < b.N; i++ {
+		res, err := imputetask.RunSpark(benchCluster(10_000), cfg)
+		reportRun(b, res, err)
+	}
+}
+
+func BenchmarkFig5ImputationGraphLab(b *testing.B) {
+	cfg := imputetask.Config{K: 5, D: 8, PointsPerMachine: 2_000_000, Iterations: 1, SVPerMachine: 10}
+	for i := 0; i < b.N; i++ {
+		res, err := imputetask.RunGraphLab(benchCluster(10_000), cfg)
+		reportRun(b, res, err)
+	}
+}
+
+func BenchmarkFig5ImputationSimSQL(b *testing.B) {
+	cfg := imputetask.Config{K: 5, D: 8, PointsPerMachine: 2_000_000, Iterations: 1, SVPerMachine: 10}
+	for i := 0; i < b.N; i++ {
+		res, err := imputetask.RunSimSQL(benchCluster(10_000), cfg)
+		reportRun(b, res, err)
+	}
+}
+
+// --- Figure 6: Spark Java LDA ---
+
+func BenchmarkFig6LDASparkJava(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := ldatask.RunSpark(benchCluster(25_000), ldaBenchCfg(), ldatask.VariantSV, sim.ProfileJava)
+		reportRun(b, res, err)
+	}
+}
+
+// --- Ablations (design choices the paper's discussion calls out) ---
+
+// BenchmarkAblationSuperVertex measures the super-vertex construction's
+// effect on the SimSQL GMM (Section 5.6).
+func BenchmarkAblationSuperVertex(b *testing.B) {
+	for _, sv := range []bool{false, true} {
+		name := "without"
+		if sv {
+			name = "with"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := gmmtask.Config{K: 5, D: 10, PointsPerMachine: 2_000_000, Iterations: 1, SuperVertex: sv}
+			for i := 0; i < b.N; i++ {
+				res, err := gmmtask.RunSimSQL(benchCluster(10_000), cfg)
+				reportRun(b, res, err)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationJoinQuirk measures the SimSQL optimizer quirk: the
+// word-based HMM's adjacency join as an equi-join (via the stored nextPos
+// column) versus the cross-product fallback (Section 7.2).
+func BenchmarkAblationJoinQuirk(b *testing.B) {
+	small := hmmtask.Config{K: 4, V: 100, DocsPerMachine: 20_000, AvgDocLen: 20, Iterations: 1}
+	for _, quirk := range []bool{false, true} {
+		name := "equijoin"
+		if quirk {
+			name = "crossproduct"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := small
+			cfg.UseArithJoinQuirk = quirk
+			for i := 0; i < b.N; i++ {
+				res, err := hmmtask.RunSimSQL(benchCluster(1000), cfg, hmmtask.VariantWord)
+				reportRun(b, res, err)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationCacheChurn contrasts the GMM (stable cached data) with
+// the imputation model (data rewritten per iteration) on Spark — the
+// Figure 5 discussion.
+func BenchmarkAblationCacheChurn(b *testing.B) {
+	b.Run("gmm-stable-cache", func(b *testing.B) {
+		cfg := gmmtask.Config{K: 5, D: 8, PointsPerMachine: 2_000_000, Iterations: 2}
+		for i := 0; i < b.N; i++ {
+			res, err := gmmtask.RunSpark(benchCluster(10_000), cfg, sim.ProfilePython)
+			reportRun(b, res, err)
+		}
+	})
+	b.Run("impute-churning-cache", func(b *testing.B) {
+		cfg := imputetask.Config{K: 5, D: 8, PointsPerMachine: 2_000_000, Iterations: 2}
+		for i := 0; i < b.N; i++ {
+			res, err := imputetask.RunSpark(benchCluster(10_000), cfg)
+			reportRun(b, res, err)
+		}
+	})
+}
+
+// --- Engine micro-benchmarks (real wall time of the simulation itself) ---
+
+func BenchmarkEngineShuffle(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ctx := dataflow.NewContext(benchCluster(10), sim.ProfileCPP)
+		data := dataflow.Generate(ctx, 8, func(int) int64 { return 8 },
+			func(p int, r *randgen.RNG) []int {
+				out := make([]int, 2000)
+				for j := range out {
+					out[j] = p*2000 + j
+				}
+				return out
+			})
+		pairs := dataflow.Map(data, func(dataflow.Pair[int, int]) int64 { return 16 },
+			func(m *sim.Meter, x int) dataflow.Pair[int, int] {
+				return dataflow.Pair[int, int]{K: x % 97, V: x}
+			})
+		red := dataflow.ReduceByKey(pairs, func(m *sim.Meter, a, c int) int { return a + c })
+		if _, err := dataflow.Count(red); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngineVirtualClockPhase(b *testing.B) {
+	cl := benchCluster(10)
+	for i := 0; i < b.N; i++ {
+		_ = cl.RunPhaseF("noop", func(machine int, m *sim.Meter) error {
+			m.ChargeSec(1)
+			return nil
+		})
+	}
+}
+
+// BenchmarkAblationCombiners measures Giraph's combiner effect on the
+// per-point GMM (Section 5.4: combiners "reduce communication and
+// increase load balancing during aggregation"). Without combining, every
+// per-point statistics message is buffered and shipped individually.
+func BenchmarkAblationCombiners(b *testing.B) {
+	for _, disabled := range []bool{false, true} {
+		name := "with-combiner"
+		if disabled {
+			name = "without-combiner"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := gmmtask.Config{K: 5, D: 10, PointsPerMachine: 2_000_000, Iterations: 1, DisableCombiner: disabled}
+			for i := 0; i < b.N; i++ {
+				res, err := gmmtask.RunGiraph(benchCluster(10_000), cfg)
+				reportRun(b, res, err)
+			}
+		})
+	}
+}
+
+// --- Extension: sparse-graph MRF labeling (the paper's Section 10
+// conjecture about graph-natural workloads) ---
+
+func BenchmarkExtensionMRFGraphLab(b *testing.B) {
+	cfg := mrftask.Config{RowsPerMachine: 10_000, Cols: 1000, Labels: 5, Iterations: 1}
+	for i := 0; i < b.N; i++ {
+		res, err := mrftask.RunGraphLab(benchCluster(100_000), cfg)
+		reportRun(b, res, err)
+	}
+}
+
+func BenchmarkExtensionMRFGiraph(b *testing.B) {
+	cfg := mrftask.Config{RowsPerMachine: 10_000, Cols: 1000, Labels: 5, Iterations: 1}
+	for i := 0; i < b.N; i++ {
+		res, err := mrftask.RunGiraph(benchCluster(100_000), cfg)
+		reportRun(b, res, err)
+	}
+}

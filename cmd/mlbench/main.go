@@ -1,0 +1,92 @@
+// Command mlbench regenerates the paper's evaluation tables (Figures 1-6
+// of "A Comparison of Platforms for Implementing and Running Very Large
+// Scale Machine Learning Algorithms", SIGMOD 2014) on the simulated
+// cluster, printing measured values next to the paper's published ones.
+//
+// Usage:
+//
+//	mlbench [-figure fig1a] [-iters 2] [-scalediv 1] [-agree 3]
+//
+// With no -figure, every figure runs in order.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mlbench/internal/bench"
+)
+
+func main() {
+	figure := flag.String("figure", "", "figure id to run (fig1a, fig1b, fig1c, fig2, fig3a, fig3b, fig4a, fig4b, fig5, fig6); empty = all")
+	iters := flag.Int("iters", 2, "Gibbs iterations per experiment (the paper averaged the first five)")
+	scaleDiv := flag.Float64("scalediv", 1, "divide the default scale-down factors by this (more real data, slower)")
+	agree := flag.Float64("agree", 3, "agreement factor: cells within this multiple of the paper's value count as matching")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	loc := flag.Bool("loc", false, "print the lines-of-code table (the paper's LoC column analogue) and exit")
+	list := flag.Bool("list", false, "list the available figures and exit")
+	md := flag.Bool("md", false, "render tables as GitHub markdown (for EXPERIMENTS.md)")
+	trace := flag.Bool("trace", false, "print each cell's most expensive simulation phases")
+	flag.Parse()
+
+	if *list {
+		for _, f := range bench.Figures(bench.Options{}) {
+			fmt.Printf("  %-7s %s\n", f.ID, f.Title)
+		}
+		return
+	}
+
+	if *loc {
+		fmt.Println("Lines of Go code per task implementation (this reproduction):")
+		for _, l := range bench.LinesOfCode() {
+			fmt.Printf("  %-12s %-14s %5d\n", l.Task, l.Platform, l.Lines)
+		}
+		return
+	}
+
+	opts := bench.Options{Iterations: *iters, ScaleDiv: *scaleDiv, Seed: *seed, Trace: *trace}
+	var figures []*bench.Figure
+	if *figure == "" {
+		figures = bench.Figures(opts)
+	} else {
+		f := bench.FigureByID(*figure, opts)
+		if f == nil {
+			fmt.Fprintf(os.Stderr, "unknown figure %q\n", *figure)
+			os.Exit(2)
+		}
+		figures = []*bench.Figure{f}
+	}
+
+	totalMatched, totalCells := 0, 0
+	for _, f := range figures {
+		t := f.Run(opts)
+		if *md {
+			fmt.Println(t.RenderMarkdown())
+		} else {
+			fmt.Println(t.Render())
+		}
+		if *trace {
+			for _, r := range t.Rows {
+				for _, c := range t.Cols {
+					cell := t.Cells[r][c]
+					if len(cell.Notes) == 0 {
+						continue
+					}
+					fmt.Printf("  %s / %s:\n", r, c)
+					for _, n := range cell.Notes {
+						fmt.Printf("    %s\n", n)
+					}
+				}
+			}
+			fmt.Println()
+		}
+		m, n := t.Agreement(*agree)
+		totalMatched += m
+		totalCells += n
+		fmt.Printf("agreement within %.1fx of the paper: %d/%d cells\n\n", *agree, m, n)
+	}
+	if len(figures) > 1 {
+		fmt.Printf("overall agreement: %d/%d cells within %.1fx\n", totalMatched, totalCells, *agree)
+	}
+}

@@ -1,0 +1,60 @@
+// MRF labeling: the extension workload from the paper's closing
+// discussion — "had we considered ... problems that map naturally to a
+// graph (for example, labeling the nodes in a Markov random field where
+// the model parameters are already known), the results might have been
+// different."
+//
+//	go run ./examples/mrflabel
+//
+// A Potts-model Gibbs sampler denoises a blocky labeled grid, then the
+// same chain runs per-vertex on the GraphLab-style and Giraph-style
+// engines. On this sparse 4-neighbor graph the per-vertex GraphLab
+// formulation — which fails on every one of the paper's five models —
+// runs comfortably and beats Giraph, realizing the conjecture.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mlbench/internal/bench"
+	"mlbench/internal/models/mrf"
+	"mlbench/internal/randgen"
+	"mlbench/internal/sim"
+	"mlbench/internal/tasks/mrftask"
+)
+
+func main() {
+	// Centralized: denoise a 96x96 grid.
+	rng := randgen.New(21)
+	g := mrf.Generate(rng, mrf.Config{Rows: 96, Cols: 96, Labels: 5, Beta: 1.5, NoiseP: 0.3})
+	fmt.Printf("observation accuracy: %.3f\n", g.ObsAccuracy())
+	for iter := 0; iter < 12; iter++ {
+		g.SweepParity(rng, 0)
+		g.SweepParity(rng, 1)
+	}
+	fmt.Printf("after 12 Gibbs sweeps: %.3f\n\n", g.Accuracy())
+
+	// Distributed, per-vertex, both graph engines, 5 virtual machines
+	// with 10M pixels per machine at paper scale.
+	cfg := mrftask.Config{RowsPerMachine: 10_000, Cols: 1000, Labels: 5, Iterations: 2}
+	mk := func() *sim.Cluster {
+		c := sim.DefaultConfig(5)
+		c.Scale = 100_000
+		return sim.New(c)
+	}
+	gl, err := mrftask.RunGraphLab(mk(), cfg)
+	if err != nil {
+		log.Fatalf("graphlab: %v", err)
+	}
+	gir, err := mrftask.RunGiraph(mk(), cfg)
+	if err != nil {
+		log.Fatalf("giraph: %v", err)
+	}
+	fmt.Println("per-vertex MRF labeling, 50M pixels on 5 virtual machines:")
+	fmt.Printf("  GraphLab: %s per sweep (accuracy %.3f)\n", bench.FormatDuration(gl.AvgIterSec()), gl.Metrics["accuracy"])
+	fmt.Printf("  Giraph:   %s per sweep (accuracy %.3f)\n", bench.FormatDuration(gir.AvgIterSec()), gir.Metrics["accuracy"])
+	fmt.Println()
+	fmt.Println("No super vertices, no failures: on a sparse dependency graph the")
+	fmt.Println("pull-based per-vertex model is at home — the paper's conjecture.")
+}

@@ -1,0 +1,106 @@
+// SimSQL-style MCMC as mutually recursive random tables: the programming
+// model of the paper's Section 4.2, where "random table definitions ...
+// can be mutually recursive; hence one can define, in SQL, MCMC
+// simulations."
+//
+//	go run ./examples/simsqlchain
+//
+// A tiny Beta-Bernoulli model runs entirely through the relational
+// engine: theta[0] is drawn from the prior by a VG function, and
+// theta[i] is re-drawn from the conjugate Beta conditional whose
+// parameters come from a GROUP BY over the observations — one random
+// table, one deterministic table, one VG function, exactly the paper's
+// shape in miniature.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mlbench/internal/relational"
+	"mlbench/internal/sim"
+)
+
+// betaVG draws theta ~ Beta(a, b) where (a, b) arrive as the single
+// parameter row — a library VG function in SimSQL terms.
+type betaVG struct{}
+
+func (betaVG) Name() string { return "Beta" }
+func (betaVG) OutSchema() relational.Schema {
+	return relational.Floats("theta")
+}
+func (betaVG) Apply(m relational.VGMeter, params []relational.Tuple) []relational.Tuple {
+	m.ChargeOps(1, 20, 1)
+	a, b := params[0].Float(0), params[0].Float(1)
+	return []relational.Tuple{relational.T(m.RNG().Beta(a, b))}
+}
+
+func main() {
+	cfg := sim.DefaultConfig(3)
+	cfg.Scale = 1 // run this one at true size
+	cl := sim.New(cfg)
+	eng := relational.NewEngine(cl)
+	chain := relational.NewChain(eng)
+
+	// The deterministic data table: 2000 coin flips, 70% heads.
+	flips := relational.NewTable("flips", relational.Ints("id", "heads"), cl.NumMachines())
+	flips.Scaled = true
+	rng := eng.Cluster().Machine(0).RNG()
+	heads := 0
+	for i := 0; i < 2000; i++ {
+		h := 0
+		if rng.Float64() < 0.7 {
+			h = 1
+			heads++
+		}
+		flips.Parts[i%cl.NumMachines()] = append(flips.Parts[i%cl.NumMachines()],
+			relational.T(float64(i), float64(h)))
+	}
+	chain.SetBase("flips", flips)
+
+	// prior(a, b) — one tuple of hyperparameters.
+	prior := relational.NewTable("prior", relational.Floats("a", "b"), cl.NumMachines())
+	prior.Parts[0] = []relational.Tuple{relational.T(1, 1)}
+	chain.SetBase("prior", prior)
+
+	// theta[0]: draw from the prior.
+	if err := chain.Init("theta", relational.VGApplyP(betaVG{}, -1,
+		relational.ScanT(prior), true)); err != nil {
+		log.Fatal(err)
+	}
+
+	// theta[i]: Beta(a + #heads, b + #tails) — the conjugate conditional,
+	// with the counts computed by a GROUP BY over the flips.
+	update := []relational.Update{{
+		Name: "theta",
+		Build: func(prev func(string) *relational.Table) relational.Plan {
+			counts := relational.AsModelP(relational.GroupAggP(
+				relational.ScanT(prev("flips")),
+				nil, // one global group
+				[]relational.AggSpec{
+					{Kind: relational.AggSum, Col: 1, Name: "heads"},
+					{Kind: relational.AggCount, Name: "n"},
+				}))
+			params := relational.ProjectP(counts, relational.Floats("a", "b"),
+				func(t relational.Tuple) relational.Tuple {
+					h, n := t.Float(0), t.Float(1)
+					return relational.T(1+h, 1+(n-h))
+				})
+			return relational.VGApplyP(betaVG{}, -1, params, true)
+		},
+	}}
+
+	fmt.Printf("observed heads rate: %.3f\n", float64(heads)/2000)
+	for iter := 1; iter <= 5; iter++ {
+		if err := chain.Step(update); err != nil {
+			log.Fatal(err)
+		}
+		theta := chain.Table("theta").Rows()[0].Float(0)
+		fmt.Printf("theta[%d] = %.3f\n", iter, theta)
+	}
+	fmt.Printf("\n%d MapReduce jobs' worth of virtual time: %.0f seconds\n",
+		5*3, cl.Now())
+	fmt.Println("Every iteration above ran as real relational jobs — GROUP BY,")
+	fmt.Println("projection, VG invocation — on the simulated cluster, exactly")
+	fmt.Println("how SimSQL turns recursive SQL into Hadoop MapReduce chains.")
+}

@@ -1,0 +1,3 @@
+module mlbench
+
+go 1.22

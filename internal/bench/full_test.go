@@ -1,0 +1,48 @@
+package bench
+
+import (
+	"os"
+	"testing"
+)
+
+// TestFullEvaluationAgreement regenerates every paper table and asserts
+// the calibrated agreement level. It takes several minutes, so it only
+// runs when MLBENCH_FULL=1 (CI nightly / release gate):
+//
+//	MLBENCH_FULL=1 go test ./internal/bench -run TestFullEvaluationAgreement -timeout 30m
+func TestFullEvaluationAgreement(t *testing.T) {
+	if os.Getenv("MLBENCH_FULL") != "1" {
+		t.Skip("set MLBENCH_FULL=1 to run the full evaluation")
+	}
+	opts := Options{Iterations: 2}
+	matched, total := 0, 0
+	for _, f := range Figures(opts) {
+		tbl := f.Run(opts)
+		m, n := tbl.Agreement(3)
+		t.Logf("%s: %d/%d within 3x", f.ID, m, n)
+		matched += m
+		total += n
+		// Every Fail cell must match the paper, except the one known
+		// deviation (EXPERIMENTS.md): the paper's Spark HMM at 100
+		// machines failed where our byte accounting lands just under
+		// the budget.
+		for _, r := range tbl.Rows {
+			for _, c := range tbl.Cols {
+				cell := tbl.Cells[r][c]
+				if cell.Skipped || cell.PaperNA {
+					continue
+				}
+				if f.ID == "fig3b" && r == "Spark (Python)" && c == "100m" {
+					continue
+				}
+				if cell.Failed != cell.PaperFail {
+					t.Errorf("%s %s/%s: measured fail=%v, paper fail=%v",
+						f.ID, r, c, cell.Failed, cell.PaperFail)
+				}
+			}
+		}
+	}
+	if float64(matched) < 0.9*float64(total) {
+		t.Errorf("agreement regressed: %d/%d cells within 3x (want >= 90%%)", matched, total)
+	}
+}

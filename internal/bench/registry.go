@@ -1,0 +1,525 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+
+	"mlbench/internal/sim"
+	"mlbench/internal/tasks/gmmtask"
+	"mlbench/internal/tasks/hmmtask"
+	"mlbench/internal/tasks/imputetask"
+	"mlbench/internal/tasks/lassotask"
+	"mlbench/internal/tasks/ldatask"
+	"mlbench/internal/tasks/task"
+)
+
+// Options tunes a harness run.
+type Options struct {
+	// Iterations per chain (the paper averages the first five; the
+	// default here is 2 to keep real wall time short — virtual times are
+	// per-iteration averages either way).
+	Iterations int
+	// ScaleDiv divides the default scale factors, increasing the real
+	// data volume (1 = defaults; 10 = 10x more real elements).
+	ScaleDiv float64
+	// Seed overrides the cluster seed.
+	Seed uint64
+	// Trace records each cell's five most expensive simulation phases in
+	// its notes (the "-trace" CLI flag).
+	Trace bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Iterations == 0 {
+		o.Iterations = 2
+	}
+	if o.ScaleDiv == 0 {
+		o.ScaleDiv = 1
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// runFn executes one cell's simulation on a prepared cluster.
+type runFn func(cl *sim.Cluster) (*task.Result, error)
+
+// cellSpec is one table cell to run.
+type cellSpec struct {
+	col       string
+	machines  int
+	scale     float64
+	run       runFn
+	paperIter string // "Fail", "NA", or H:MM:SS
+	paperInit string
+}
+
+// rowSpec is one table row.
+type rowSpec struct {
+	label string
+	cells []cellSpec
+}
+
+// Figure is one runnable paper figure.
+type Figure struct {
+	ID    string
+	Title string
+	rows  []rowSpec
+}
+
+// newCluster builds the simulated cluster for a cell.
+func newCluster(machines int, scale float64, o Options) *sim.Cluster {
+	cfg := sim.DefaultConfig(machines)
+	cfg.Scale = scale / o.ScaleDiv
+	if cfg.Scale < 1 {
+		cfg.Scale = 1
+	}
+	cfg.Seed = o.Seed
+	cfg.Trace = o.Trace
+	return sim.New(cfg)
+}
+
+// Run executes the figure and returns the rendered table.
+func (f *Figure) Run(o Options) *Table {
+	o = o.withDefaults()
+	t := &Table{ID: f.ID, Title: f.Title, Cells: map[string]map[string]Cell{}}
+	for _, r := range f.rows {
+		t.Rows = append(t.Rows, r.label)
+		t.Cells[r.label] = map[string]Cell{}
+		for _, c := range r.cells {
+			if !contains(t.Cols, c.col) {
+				t.Cols = append(t.Cols, c.col)
+			}
+			cell := Cell{
+				RowLabel:     r.label,
+				ColLabel:     c.col,
+				PaperIterSec: ParseDuration(c.paperIter),
+				PaperInitSec: ParseDuration(c.paperInit),
+				PaperFail:    c.paperIter == "Fail",
+				PaperNA:      c.paperIter == "NA",
+			}
+			if c.run == nil || cell.PaperNA {
+				cell.Skipped = true
+				t.Cells[r.label][c.col] = cell
+				continue
+			}
+			cl := newCluster(c.machines, c.scale, o)
+			res, err := c.run(cl)
+			if err != nil {
+				if sim.IsOOM(err) {
+					cell.Failed = true
+					cell.Notes = append(cell.Notes, err.Error())
+				} else {
+					cell.Failed = true
+					cell.Notes = append(cell.Notes, "error: "+err.Error())
+				}
+			} else {
+				cell.IterSec = res.AvgIterSec()
+				cell.InitSec = res.InitSec
+				cell.Notes = res.Notes
+			}
+			if o.Trace {
+				cell.Notes = append(cell.Notes, topPhases(cl, 5)...)
+			}
+			t.Cells[r.label][c.col] = cell
+		}
+	}
+	return t
+}
+
+func contains(s []string, v string) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Figures returns the registry: every table of the paper's evaluation.
+func Figures(o Options) []*Figure {
+	o = o.withDefaults()
+	return []*Figure{
+		fig1a(o), fig1b(o), fig1c(o),
+		fig2(o),
+		fig3a(o), fig3b(o),
+		fig4a(o), fig4b(o),
+		fig5(o),
+		fig6(o),
+	}
+}
+
+// FigureByID returns the named figure, or nil.
+func FigureByID(id string, o Options) *Figure {
+	for _, f := range Figures(o) {
+		if f.ID == id {
+			return f
+		}
+	}
+	return nil
+}
+
+// --- GMM (Figure 1) ---
+
+func gmmCfg(o Options, d int, sv bool) gmmtask.Config {
+	pts := 10_000_000
+	if d == 100 {
+		pts = 1_000_000
+	}
+	return gmmtask.Config{K: 10, D: d, PointsPerMachine: pts, Iterations: o.Iterations, SuperVertex: sv}
+}
+
+// gmmScale picks the scale so each machine holds a manageable number of
+// real points.
+func gmmScale(d int) float64 {
+	if d == 100 {
+		return 10_000 // 100 real points/machine
+	}
+	return 10_000 // 1,000 real points/machine
+}
+
+func gmmCols(o Options, sv bool, profile *sim.Profile, platform string) []cellSpec {
+	mk := func(col string, machines, d int) cellSpec {
+		cfg := gmmCfg(o, d, sv)
+		var run runFn
+		switch platform {
+		case "spark":
+			run = func(cl *sim.Cluster) (*task.Result, error) { return gmmtask.RunSpark(cl, cfg, *profile) }
+		case "simsql":
+			run = func(cl *sim.Cluster) (*task.Result, error) { return gmmtask.RunSimSQL(cl, cfg) }
+		case "graphlab":
+			run = func(cl *sim.Cluster) (*task.Result, error) { return gmmtask.RunGraphLab(cl, cfg) }
+		case "giraph":
+			run = func(cl *sim.Cluster) (*task.Result, error) { return gmmtask.RunGiraph(cl, cfg) }
+		}
+		return cellSpec{col: col, machines: machines, scale: gmmScale(d), run: run}
+	}
+	return []cellSpec{
+		mk("10d/5m", 5, 10), mk("10d/20m", 20, 10), mk("10d/100m", 100, 10), mk("100d/5m", 5, 100),
+	}
+}
+
+func withPaper(cells []cellSpec, iters, inits []string) []cellSpec {
+	for i := range cells {
+		cells[i].paperIter = iters[i]
+		if inits != nil {
+			cells[i].paperInit = inits[i]
+		}
+	}
+	return cells
+}
+
+func fig1a(o Options) *Figure {
+	py := sim.ProfilePython
+	return &Figure{
+		ID:    "fig1a",
+		Title: "GMM: initial implementations (avg time per iteration, init in parens)",
+		rows: []rowSpec{
+			{"SimSQL", withPaper(gmmCols(o, false, nil, "simsql"),
+				[]string{"27:55", "28:55", "35:54", "1:51:12"}, []string{"13:55", "14:38", "18:58", "36:08"})},
+			{"GraphLab", withPaper(gmmCols(o, false, nil, "graphlab"),
+				[]string{"Fail", "Fail", "Fail", "Fail"}, nil)},
+			{"Spark (Python)", withPaper(gmmCols(o, false, &py, "spark"),
+				[]string{"26:04", "37:34", "38:09", "47:40"}, []string{"4:10", "2:27", "2:00", "0:52"})},
+			{"Giraph", withPaper(gmmCols(o, false, nil, "giraph"),
+				[]string{"25:21", "30:26", "Fail", "Fail"}, []string{"0:18", "0:15", "", ""})},
+		},
+	}
+}
+
+func fig1b(o Options) *Figure {
+	jv := sim.ProfileJava
+	return &Figure{
+		ID:    "fig1b",
+		Title: "GMM: alternative implementations",
+		rows: []rowSpec{
+			{"Spark (Java)", withPaper(gmmCols(o, false, &jv, "spark"),
+				[]string{"12:30", "12:25", "18:11", "6:25:04"}, []string{"2:01", "2:03", "2:26", "36:08"})},
+			{"GraphLab (Super Vertex)", withPaper(gmmCols(o, true, nil, "graphlab"),
+				[]string{"6:13", "4:36", "6:09", "33:32"}, []string{"1:13", "2:47", "1:21", "0:42"})},
+		},
+	}
+}
+
+func fig1c(o Options) *Figure {
+	py := sim.ProfilePython
+	mk := func(platform string, sv bool, d int) cellSpec {
+		cols := gmmCols(o, sv, &py, platform)
+		// Columns 0 (10d/5m) and 3 (100d/5m) of the standard layout.
+		idx := 0
+		if d == 100 {
+			idx = 3
+		}
+		c := cols[idx]
+		label := fmt.Sprintf("%dd", d)
+		if sv {
+			c.col = label + " with SV"
+		} else {
+			c.col = label + " w/o SV"
+		}
+		return c
+	}
+	row := func(platform string, iters []string, inits []string) rowSpec {
+		cells := []cellSpec{mk(platform, false, 10), mk(platform, true, 10), mk(platform, false, 100), mk(platform, true, 100)}
+		return rowSpec{label: platform, cells: withPaper(cells, iters, inits)}
+	}
+	f := &Figure{ID: "fig1c", Title: "GMM: super vertex implementations (5 machines)"}
+	f.rows = []rowSpec{
+		row("simsql", []string{"27:55", "6:20", "1:51:12", "7:22"}, []string{"13:55", "12:33", "36:08", "14:07"}),
+		row("graphlab", []string{"Fail", "6:13", "Fail", "33:32"}, []string{"", "1:13", "", "0:42"}),
+		row("spark", []string{"26:04", "29:12", "47:40", "47:03"}, []string{"4:10", "4:01", "0:52", "2:17"}),
+		row("giraph", []string{"25:21", "13:48", "Fail", "6:17:32"}, []string{"0:18", "0:03", "", "0:03"}),
+	}
+	// Human-facing row labels.
+	f.rows[0].label = "SimSQL"
+	f.rows[1].label = "GraphLab"
+	f.rows[2].label = "Spark (Python)"
+	f.rows[3].label = "Giraph"
+	return f
+}
+
+// --- Bayesian Lasso (Figure 2) ---
+
+func fig2(o Options) *Figure {
+	cfg := lassotask.Config{P: 1000, PointsPerMachine: 100_000, Iterations: o.Iterations}
+	svCfg := cfg
+	svCfg.SuperVertex = true
+	scaleFor := func(machines int) float64 {
+		// Keep total real Gram work bounded as machines grow.
+		return 500 * float64(machines) / 5
+	}
+	row := func(label string, run func(cl *sim.Cluster) (*task.Result, error), iters, inits []string) rowSpec {
+		machines := []int{5, 20, 100}
+		cells := make([]cellSpec, len(machines))
+		for i, m := range machines {
+			cells[i] = cellSpec{col: fmt.Sprintf("%dm", m), machines: m, scale: scaleFor(m), run: run}
+		}
+		return rowSpec{label: label, cells: withPaper(cells, iters, inits)}
+	}
+	return &Figure{
+		ID:    "fig2",
+		Title: "Bayesian Lasso (avg time per iteration, init in parens)",
+		rows: []rowSpec{
+			row("SimSQL", func(cl *sim.Cluster) (*task.Result, error) { return lassotask.RunSimSQL(cl, cfg) },
+				[]string{"7:09", "8:04", "12:24"}, []string{"2:40:06", "2:45:28", "2:54:45"}),
+			row("GraphLab (Super Vertex)", func(cl *sim.Cluster) (*task.Result, error) { return lassotask.RunGraphLab(cl, cfg) },
+				[]string{"0:36", "0:26", "0:31"}, []string{"0:37", "0:35", "0:50"}),
+			row("Spark (Python)", func(cl *sim.Cluster) (*task.Result, error) { return lassotask.RunSpark(cl, cfg) },
+				[]string{"0:55", "0:59", "1:12"}, []string{"1:26:59", "1:33:13", "2:06:30"}),
+			row("Giraph", func(cl *sim.Cluster) (*task.Result, error) { return lassotask.RunGiraph(cl, cfg) },
+				[]string{"Fail", "Fail", "Fail"}, nil),
+			row("Giraph (Super Vertex)", func(cl *sim.Cluster) (*task.Result, error) { return lassotask.RunGiraph(cl, svCfg) },
+				[]string{"0:58", "1:03", "2:08"}, []string{"1:14", "1:14", "6:31"}),
+		},
+	}
+}
+
+// --- HMM (Figure 3) ---
+
+func hmmCfg(o Options) hmmtask.Config {
+	return hmmtask.Config{K: 20, V: 10_000, DocsPerMachine: 2_500_000, AvgDocLen: 210, Iterations: o.Iterations}
+}
+
+const hmmScale = 25_000 // 100 real documents per machine
+
+func fig3a(o Options) *Figure {
+	cfg := hmmCfg(o)
+	py := sim.ProfilePython
+	_ = py
+	cell := func(col string, v hmmtask.Variant, run func(cl *sim.Cluster, variant hmmtask.Variant) (*task.Result, error)) cellSpec {
+		return cellSpec{col: col, machines: 5, scale: hmmScale,
+			run: func(cl *sim.Cluster) (*task.Result, error) { return run(cl, v) }}
+	}
+	sim2 := func(cl *sim.Cluster, v hmmtask.Variant) (*task.Result, error) { return hmmtask.RunSimSQL(cl, cfg, v) }
+	spk := func(cl *sim.Cluster, v hmmtask.Variant) (*task.Result, error) { return hmmtask.RunSpark(cl, cfg, v) }
+	gir := func(cl *sim.Cluster, v hmmtask.Variant) (*task.Result, error) { return hmmtask.RunGiraph(cl, cfg, v) }
+	return &Figure{
+		ID:    "fig3a",
+		Title: "HMM: word-based and document-based (5 machines)",
+		rows: []rowSpec{
+			{"SimSQL", withPaper([]cellSpec{
+				cell("word-based", hmmtask.VariantWord, sim2),
+				cell("document-based", hmmtask.VariantDoc, sim2),
+			}, []string{"8:17:07", "3:42:40"}, []string{"10:51:32", "20:44"})},
+			{"Spark (Python)", withPaper([]cellSpec{
+				cell("word-based", hmmtask.VariantWord, spk),
+				cell("document-based", hmmtask.VariantDoc, spk),
+			}, []string{"Fail", "4:21:36"}, []string{"", "27:36"})},
+			{"Giraph", withPaper([]cellSpec{
+				cell("word-based", hmmtask.VariantWord, gir),
+				cell("document-based", hmmtask.VariantDoc, gir),
+			}, []string{"Fail", "11:02"}, []string{"", "7:03"})},
+		},
+	}
+}
+
+func fig3b(o Options) *Figure {
+	cfg := hmmCfg(o)
+	row := func(label string, run runVariantFn, iters, inits []string) rowSpec {
+		machines := []int{5, 20, 100}
+		cells := make([]cellSpec, len(machines))
+		for i, m := range machines {
+			m := m
+			cells[i] = cellSpec{col: fmt.Sprintf("%dm", m), machines: m, scale: hmmScale,
+				run: func(cl *sim.Cluster) (*task.Result, error) { return run(cl) }}
+		}
+		return rowSpec{label: label, cells: withPaper(cells, iters, inits)}
+	}
+	return &Figure{
+		ID:    "fig3b",
+		Title: "HMM: super vertex implementations",
+		rows: []rowSpec{
+			row("Giraph", func(cl *sim.Cluster) (*task.Result, error) { return hmmtask.RunGiraph(cl, cfg, hmmtask.VariantSV) },
+				[]string{"2:27", "2:44", "3:12"}, []string{"1:12", "1:52", "2:56"}),
+			row("GraphLab", func(cl *sim.Cluster) (*task.Result, error) { return hmmtask.RunGraphLab(cl, cfg) },
+				[]string{"20:39", "Fail", "Fail"}, []string{"16:28", "", ""}),
+			row("Spark (Python)", func(cl *sim.Cluster) (*task.Result, error) { return hmmtask.RunSpark(cl, cfg, hmmtask.VariantSV) },
+				[]string{"3:45:58", "4:01:02", "Fail"}, []string{"11:02", "13:04", ""}),
+			row("SimSQL", func(cl *sim.Cluster) (*task.Result, error) { return hmmtask.RunSimSQL(cl, cfg, hmmtask.VariantSV) },
+				[]string{"2:05:12", "2:05:31", "2:19:10"}, []string{"1:44:45", "1:44:36", "2:04:40"}),
+		},
+	}
+}
+
+type runVariantFn = runFn
+
+// --- LDA (Figure 4) ---
+
+func ldaCfg(o Options) ldatask.Config {
+	return ldatask.Config{T: 100, V: 10_000, DocsPerMachine: 2_500_000, AvgDocLen: 210, Iterations: o.Iterations}
+}
+
+const ldaScale = 25_000
+
+func fig4a(o Options) *Figure {
+	cfg := ldaCfg(o)
+	py := sim.ProfilePython
+	mk := func(col string, run runVariantFn) cellSpec {
+		return cellSpec{col: col, machines: 5, scale: ldaScale, run: run}
+	}
+	return &Figure{
+		ID:    "fig4a",
+		Title: "LDA: word-based and document-based (5 machines)",
+		rows: []rowSpec{
+			{"SimSQL", withPaper([]cellSpec{
+				mk("word-based", func(cl *sim.Cluster) (*task.Result, error) { return ldatask.RunSimSQL(cl, cfg, ldatask.VariantWord) }),
+				mk("document-based", func(cl *sim.Cluster) (*task.Result, error) { return ldatask.RunSimSQL(cl, cfg, ldatask.VariantDoc) }),
+			}, []string{"16:34:39", "4:52:06"}, []string{"11:23:22", "4:34:27"})},
+			{"Spark (Python)", withPaper([]cellSpec{
+				{col: "word-based", paperIter: "NA"},
+				mk("document-based", func(cl *sim.Cluster) (*task.Result, error) { return ldatask.RunSpark(cl, cfg, ldatask.VariantDoc, py) }),
+			}, []string{"NA", "15:45:00"}, []string{"", "2:30:00"})},
+			{"Giraph", withPaper([]cellSpec{
+				{col: "word-based", paperIter: "NA"},
+				mk("document-based", func(cl *sim.Cluster) (*task.Result, error) { return ldatask.RunGiraph(cl, cfg, ldatask.VariantDoc) }),
+			}, []string{"NA", "22:22"}, []string{"", "5:46"})},
+		},
+	}
+}
+
+func fig4b(o Options) *Figure {
+	cfg := ldaCfg(o)
+	py := sim.ProfilePython
+	row := func(label string, run runVariantFn, iters, inits []string) rowSpec {
+		machines := []int{5, 20, 100}
+		cells := make([]cellSpec, len(machines))
+		for i, m := range machines {
+			cells[i] = cellSpec{col: fmt.Sprintf("%dm", m), machines: m, scale: ldaScale, run: run}
+		}
+		return rowSpec{label: label, cells: withPaper(cells, iters, inits)}
+	}
+	return &Figure{
+		ID:    "fig4b",
+		Title: "LDA: super vertex implementations",
+		rows: []rowSpec{
+			row("Giraph", func(cl *sim.Cluster) (*task.Result, error) { return ldatask.RunGiraph(cl, cfg, ldatask.VariantSV) },
+				[]string{"18:49", "20:02", "Fail"}, []string{"2:35", "2:46", ""}),
+			row("GraphLab", func(cl *sim.Cluster) (*task.Result, error) { return ldatask.RunGraphLab(cl, cfg) },
+				[]string{"39:27", "Fail", "Fail"}, []string{"32:14", "", ""}),
+			row("Spark (Python)", func(cl *sim.Cluster) (*task.Result, error) { return ldatask.RunSpark(cl, cfg, ldatask.VariantSV, py) },
+				[]string{"3:56:00", "3:57:00", "Fail"}, []string{"2:15:00", "2:15:00", ""}),
+			row("SimSQL", func(cl *sim.Cluster) (*task.Result, error) { return ldatask.RunSimSQL(cl, cfg, ldatask.VariantSV) },
+				[]string{"1:00:17", "1:06:59", "1:13:58"}, []string{"3:09", "3:34", "4:28"}),
+		},
+	}
+}
+
+// --- Gaussian imputation (Figure 5) ---
+
+func fig5(o Options) *Figure {
+	cfg := imputetask.Config{K: 10, D: 10, PointsPerMachine: 10_000_000, Iterations: o.Iterations}
+	row := func(label string, run runVariantFn, iters, inits []string) rowSpec {
+		machines := []int{5, 20, 100}
+		cells := make([]cellSpec, len(machines))
+		for i, m := range machines {
+			cells[i] = cellSpec{col: fmt.Sprintf("%dm", m), machines: m, scale: 10_000, run: run}
+		}
+		return rowSpec{label: label, cells: withPaper(cells, iters, inits)}
+	}
+	return &Figure{
+		ID:    "fig5",
+		Title: "Gaussian imputation",
+		rows: []rowSpec{
+			row("Giraph", func(cl *sim.Cluster) (*task.Result, error) { return imputetask.RunGiraph(cl, cfg) },
+				[]string{"28:43", "31:23", "Fail"}, []string{"0:19", "0:18", ""}),
+			row("GraphLab (Super Vertex)", func(cl *sim.Cluster) (*task.Result, error) { return imputetask.RunGraphLab(cl, cfg) },
+				[]string{"6:59", "6:12", "6:08"}, []string{"3:41", "8:40", "3:03"}),
+			row("Spark (Python)", func(cl *sim.Cluster) (*task.Result, error) { return imputetask.RunSpark(cl, cfg) },
+				[]string{"1:22:48", "1:27:39", "1:29:27"}, []string{"3:52", "4:03", "4:27"}),
+			row("SimSQL", func(cl *sim.Cluster) (*task.Result, error) { return imputetask.RunSimSQL(cl, cfg) },
+				[]string{"28:53", "30:41", "39:33"}, []string{"14:29", "15:30", "22:15"}),
+		},
+	}
+}
+
+// --- LDA Spark Java (Figure 6) ---
+
+func fig6(o Options) *Figure {
+	cfg := ldaCfg(o)
+	jv := sim.ProfileJava
+	machines := []int{5, 20, 100}
+	cells := make([]cellSpec, len(machines))
+	for i, m := range machines {
+		cells[i] = cellSpec{col: fmt.Sprintf("%dm", m), machines: m, scale: ldaScale,
+			run: func(cl *sim.Cluster) (*task.Result, error) { return ldatask.RunSpark(cl, cfg, ldatask.VariantSV, jv) }}
+	}
+	return &Figure{
+		ID:    "fig6",
+		Title: "LDA: Spark Java implementation",
+		rows: []rowSpec{
+			{"Spark (Java)", withPaper(cells, []string{"9:47", "19:36", "Fail"}, []string{"0:53", "1:15", ""})},
+		},
+	}
+}
+
+// topPhases summarizes the n most expensive phases of a traced cluster
+// run, merging phases with the same name.
+func topPhases(cl *sim.Cluster, n int) []string {
+	totals := map[string]float64{}
+	for _, ph := range cl.Trace {
+		totals[ph.Name] += ph.Seconds
+	}
+	type kv struct {
+		name string
+		sec  float64
+	}
+	var all []kv
+	for name, sec := range totals {
+		all = append(all, kv{name, sec})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].sec != all[j].sec {
+			return all[i].sec > all[j].sec
+		}
+		return all[i].name < all[j].name
+	})
+	if len(all) > n {
+		all = all[:n]
+	}
+	out := make([]string, 0, len(all))
+	for _, e := range all {
+		out = append(out, fmt.Sprintf("phase %-28s %s", e.name, FormatDuration(e.sec)))
+	}
+	return out
+}

@@ -1,0 +1,82 @@
+// Package core is the public face of the benchmark — the paper's primary
+// contribution is the benchmark itself ("we hope that our efforts will
+// grow into a widely used, standard benchmark for this sort of
+// platform"), and this package exposes it as a programmatic API: the five
+// ML implementation tasks, the four platform engines they run on, and the
+// runner that regenerates every table of the paper's evaluation.
+//
+// Quick use:
+//
+//	opts := core.Options{Iterations: 2}
+//	table, err := core.RunFigure("fig1a", opts)
+//	fmt.Println(table.Render())
+//
+// Individual experiments are available through the task packages
+// (internal/tasks/...); the simulated platform substrates live in
+// internal/dataflow (Spark), internal/relational (SimSQL), internal/gas
+// (GraphLab) and internal/bsp (Giraph), all on top of the virtual
+// cluster in internal/sim.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"mlbench/internal/bench"
+)
+
+// Options tunes a benchmark run; see bench.Options.
+type Options = bench.Options
+
+// Table is a rendered figure with measured and paper values.
+type Table = bench.Table
+
+// Cell is one measured table cell.
+type Cell = bench.Cell
+
+// FigureIDs lists every runnable figure of the paper's evaluation, in
+// paper order.
+func FigureIDs() []string {
+	var ids []string
+	for _, f := range bench.Figures(Options{}) {
+		ids = append(ids, f.ID)
+	}
+	return ids
+}
+
+// RunFigure executes one figure of the evaluation and returns its table.
+func RunFigure(id string, opts Options) (*Table, error) {
+	f := bench.FigureByID(id, opts)
+	if f == nil {
+		return nil, fmt.Errorf("core: unknown figure %q (have %v)", id, FigureIDs())
+	}
+	return f.Run(opts), nil
+}
+
+// RunAll executes every figure and returns the tables in paper order.
+func RunAll(opts Options) []*Table {
+	var out []*Table
+	for _, f := range bench.Figures(opts) {
+		out = append(out, f.Run(opts))
+	}
+	return out
+}
+
+// Summary condenses a set of tables into per-figure agreement counts.
+type Summary struct {
+	Figure  string
+	Matched int
+	Total   int
+}
+
+// Summarize computes the per-figure agreement against the paper within
+// the given multiplicative factor.
+func Summarize(tables []*Table, factor float64) []Summary {
+	var out []Summary
+	for _, t := range tables {
+		m, n := t.Agreement(factor)
+		out = append(out, Summary{Figure: t.ID, Matched: m, Total: n})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Figure < out[j].Figure })
+	return out
+}

@@ -1,0 +1,33 @@
+package core
+
+import "testing"
+
+func TestFigureIDs(t *testing.T) {
+	ids := FigureIDs()
+	if len(ids) != 10 {
+		t.Fatalf("got %d figure ids: %v", len(ids), ids)
+	}
+	if ids[0] != "fig1a" || ids[len(ids)-1] != "fig6" {
+		t.Errorf("unexpected ordering: %v", ids)
+	}
+}
+
+func TestRunFigureUnknown(t *testing.T) {
+	if _, err := RunFigure("bogus", Options{}); err == nil {
+		t.Fatal("expected error for unknown figure")
+	}
+}
+
+func TestRunFigureAndSummarize(t *testing.T) {
+	tbl, err := RunFigure("fig6", Options{Iterations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sums := Summarize([]*Table{tbl}, 3)
+	if len(sums) != 1 || sums[0].Figure != "fig6" {
+		t.Fatalf("summary = %+v", sums)
+	}
+	if sums[0].Total == 0 {
+		t.Error("no comparable cells")
+	}
+}

@@ -1,0 +1,172 @@
+package dataflow
+
+import (
+	"mlbench/internal/sim"
+)
+
+// prepare materializes upstream shuffles and, if the RDD is persisted,
+// pins its partitions per the storage level.
+func (r *RDD[T]) prepare() error {
+	if err := r.ensureUpstream(); err != nil {
+		return err
+	}
+	if r.storage != StorageNone && !r.haveMat {
+		return r.materializeAll()
+	}
+	return nil
+}
+
+// runAction executes one job: a phase computing every partition and
+// passing it to fn on its machine.
+func (r *RDD[T]) runAction(name string, fn func(p int, m *sim.Meter, data []T) error) error {
+	if err := r.prepare(); err != nil {
+		return err
+	}
+	c := r.ctx.cluster
+	c.Advance(c.Config().Cost.SparkJobLaunch)
+	return c.RunPhase(name+" "+r.name, r.partTasks(func(p int, m *sim.Meter) error {
+		data, err := r.partition(p, m)
+		if err != nil {
+			return err
+		}
+		return fn(p, m, data)
+	}))
+}
+
+// Collect gathers every element to the driver. The driver transiently
+// holds the full simulated payload, so collecting a data-proportional RDD
+// can OOM the driver exactly as it would in Spark.
+func Collect[T any](r *RDD[T]) ([]T, error) {
+	var out []T
+	var shipped int64
+	err := r.runAction("collect", func(p int, m *sim.Meter, data []T) error {
+		var bytes int64
+		for _, t := range data {
+			bytes += r.sizer(t)
+		}
+		shipBytes(m, r.scaled, 0, bytes)
+		if r.scaled {
+			bytes = int64(float64(bytes) * r.ctx.cluster.Scale())
+		}
+		shipped += bytes
+		out = append(out, data...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Transient driver-side residence of the collected result.
+	if err := r.ctx.cluster.Machine(0).Alloc(shipped, "collect result "+r.name); err != nil {
+		return nil, err
+	}
+	r.ctx.cluster.Machine(0).Free(shipped)
+	return out, nil
+}
+
+// Count returns the number of (real, in-memory) elements. Multiply by the
+// cluster scale for the simulated cardinality.
+func Count[T any](r *RDD[T]) (int, error) {
+	total := 0
+	err := r.runAction("count", func(p int, m *sim.Meter, data []T) error {
+		total += len(data)
+		return nil
+	})
+	return total, err
+}
+
+// Reduce folds all elements with f. Each partition reduces locally; the
+// driver combines the per-partition results. The RDD must be non-empty.
+func Reduce[T any](r *RDD[T], f func(m *sim.Meter, a, b T) T) (T, error) {
+	var partials []T
+	err := r.runAction("reduce", func(p int, m *sim.Meter, data []T) error {
+		if len(data) == 0 {
+			return nil
+		}
+		r.chargeTuples(m, len(data))
+		acc := data[0]
+		for _, t := range data[1:] {
+			acc = f(m, acc, t)
+		}
+		shipBytes(m, false, 0, r.sizer(acc))
+		partials = append(partials, acc)
+		return nil
+	})
+	var zero T
+	if err != nil {
+		return zero, err
+	}
+	if len(partials) == 0 {
+		panic("dataflow: Reduce of empty RDD")
+	}
+	var res T
+	err = r.ctx.cluster.RunDriver("reduce-merge "+r.name, func(m *sim.Meter) error {
+		m.SetProfile(r.ctx.profile)
+		m.ChargeTuplesAbs(float64(len(partials)))
+		res = partials[0]
+		for _, t := range partials[1:] {
+			res = f(m, res, t)
+		}
+		return nil
+	})
+	return res, err
+}
+
+// Aggregate folds all elements into a zero-initialized accumulator with
+// seqOp per partition and merges the per-partition accumulators with
+// combOp on the driver. zero is called once per partition so accumulators
+// are not shared.
+func Aggregate[T, U any](r *RDD[T], zero func() U, seqOp func(m *sim.Meter, acc U, t T) U, combOp func(m *sim.Meter, a, b U) U) (U, error) {
+	var partials []U
+	err := r.runAction("aggregate", func(p int, m *sim.Meter, data []T) error {
+		r.chargeTuples(m, len(data))
+		acc := zero()
+		for _, t := range data {
+			acc = seqOp(m, acc, t)
+		}
+		partials = append(partials, acc)
+		return nil
+	})
+	var zeroU U
+	if err != nil {
+		return zeroU, err
+	}
+	res := zero()
+	err = r.ctx.cluster.RunDriver("aggregate-merge "+r.name, func(m *sim.Meter) error {
+		m.SetProfile(r.ctx.profile)
+		for _, u := range partials {
+			res = combOp(m, res, u)
+		}
+		return nil
+	})
+	return res, err
+}
+
+// Sum adds up a float64 RDD.
+func Sum(r *RDD[float64]) (float64, error) {
+	return Aggregate(r,
+		func() float64 { return 0 },
+		func(m *sim.Meter, acc, t float64) float64 { return acc + t },
+		func(m *sim.Meter, a, b float64) float64 { return a + b },
+	)
+}
+
+// CollectPairs gathers a pair RDD to the driver in deterministic
+// (partition, insertion) order.
+func CollectPairs[K comparable, V any](r *RDD[Pair[K, V]]) ([]Pair[K, V], error) {
+	return Collect(r)
+}
+
+// CollectAsMap gathers a pair RDD into a driver-local map, as the paper's
+// Spark codes do for the model (collectAsMap()). Later keys overwrite
+// earlier ones, matching Spark.
+func CollectAsMap[K comparable, V any](r *RDD[Pair[K, V]]) (map[K]V, error) {
+	pairs, err := Collect(r)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[K]V, len(pairs))
+	for _, p := range pairs {
+		out[p.K] = p.V
+	}
+	return out, nil
+}

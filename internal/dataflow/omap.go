@@ -1,0 +1,64 @@
+package dataflow
+
+// omap is an insertion-ordered map. The engine uses it instead of raw Go
+// maps wherever iteration order would otherwise leak nondeterminism into
+// combine order, shuffle layout, or downstream RNG consumption — the
+// reproduction's cross-engine agreement tests depend on bit-identical
+// trajectories.
+type omap[K comparable, V any] struct {
+	idx  map[K]int
+	keys []K
+	vals []V
+}
+
+func newOmap[K comparable, V any]() *omap[K, V] {
+	return &omap[K, V]{idx: make(map[K]int)}
+}
+
+// get returns the value for k and whether it is present.
+func (o *omap[K, V]) get(k K) (V, bool) {
+	if i, ok := o.idx[k]; ok {
+		return o.vals[i], true
+	}
+	var zero V
+	return zero, false
+}
+
+// set inserts or replaces the value for k, preserving first-insertion order.
+func (o *omap[K, V]) set(k K, v V) {
+	if i, ok := o.idx[k]; ok {
+		o.vals[i] = v
+		return
+	}
+	o.idx[k] = len(o.keys)
+	o.keys = append(o.keys, k)
+	o.vals = append(o.vals, v)
+}
+
+// merge folds v into the existing value for k with f, or inserts v.
+func (o *omap[K, V]) merge(k K, v V, f func(old, new V) V) {
+	if i, ok := o.idx[k]; ok {
+		o.vals[i] = f(o.vals[i], v)
+		return
+	}
+	o.set(k, v)
+}
+
+// len returns the entry count.
+func (o *omap[K, V]) size() int { return len(o.keys) }
+
+// each visits entries in insertion order.
+func (o *omap[K, V]) each(f func(k K, v V)) {
+	for i, k := range o.keys {
+		f(k, o.vals[i])
+	}
+}
+
+// pairs returns the entries in insertion order.
+func (o *omap[K, V]) pairs() []Pair[K, V] {
+	out := make([]Pair[K, V], len(o.keys))
+	for i, k := range o.keys {
+		out[i] = Pair[K, V]{K: k, V: o.vals[i]}
+	}
+	return out
+}

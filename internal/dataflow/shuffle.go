@@ -1,0 +1,285 @@
+package dataflow
+
+import (
+	"mlbench/internal/sim"
+)
+
+// ReduceByKey hash-shuffles the pair RDD and combines values per key with
+// f. Map-side combining runs before the shuffle, as in Spark. The output
+// has the same partition count and scaling as the input; call AsModel on
+// the result when the key space is model-sized.
+func ReduceByKey[K comparable, V any](r *RDD[Pair[K, V]], f func(m *sim.Meter, a, b V) V) *RDD[Pair[K, V]] {
+	out := &RDD[Pair[K, V]]{
+		ctx: r.ctx, parts: r.parts, scaled: r.scaled, sizer: r.sizer,
+		name: r.name + ".reduceByKey", parents: []rddBase{r},
+	}
+	out.wide = func() error {
+		return runShuffle(r, out,
+			func(m *sim.Meter, dst *omap[K, V], kv Pair[K, V]) {
+				dst.merge(kv.K, kv.V, func(old, new V) V { return f(m, old, new) })
+			},
+			func(m *sim.Meter, a, b V) V { return f(m, a, b) },
+			func(k K, a V) int64 { return r.sizer(Pair[K, V]{K: k, V: a}) },
+			func(o *omap[K, V]) []Pair[K, V] { return o.pairs() },
+		)
+	}
+	return out
+}
+
+// GroupByKey hash-shuffles the pair RDD and gathers all values per key.
+// Unlike ReduceByKey there is no map-side reduction, so the full value
+// lists travel and sit in reducer memory — the expensive Spark pattern.
+func GroupByKey[K comparable, V any](r *RDD[Pair[K, V]]) *RDD[Pair[K, []V]] {
+	elems := func(k K, vs []V) int64 {
+		var b int64 = 16
+		for _, v := range vs {
+			b += r.sizer(Pair[K, V]{K: k, V: v})
+		}
+		return b
+	}
+	sizer := func(p Pair[K, []V]) int64 { return elems(p.K, p.V) }
+	out := &RDD[Pair[K, []V]]{
+		ctx: r.ctx, parts: r.parts, scaled: r.scaled, sizer: sizer,
+		name: r.name + ".groupByKey", parents: []rddBase{r},
+	}
+	out.wide = func() error {
+		return runShuffle(r, out,
+			func(m *sim.Meter, dst *omap[K, []V], kv Pair[K, V]) {
+				old, _ := dst.get(kv.K)
+				dst.set(kv.K, append(old, kv.V))
+			},
+			func(m *sim.Meter, a, b []V) []V { return append(a, b...) },
+			elems,
+			func(o *omap[K, []V]) []Pair[K, []V] { return o.pairs() },
+		)
+	}
+	return out
+}
+
+// Two is an unkeyed tuple, used as the value type of Join results.
+type Two[V, W any] struct {
+	A V
+	B W
+}
+
+// Join inner-joins two pair RDDs on their keys, producing every (v, w)
+// combination per key. Implemented as GroupByKey-style shuffles of both
+// sides with reducer-side buffering of both value lists — the pattern
+// whose memory footprint defeated the paper's word-based HMM on Spark.
+func Join[K comparable, V, W any](a *RDD[Pair[K, V]], b *RDD[Pair[K, W]]) *RDD[Pair[K, Two[V, W]]] {
+	sizer := func(p Pair[K, Two[V, W]]) int64 {
+		return a.sizer(Pair[K, V]{K: p.K, V: p.V.A}) + b.sizer(Pair[K, W]{K: p.K, V: p.V.B})
+	}
+	out := &RDD[Pair[K, Two[V, W]]]{
+		ctx: a.ctx, parts: a.parts, scaled: a.scaled || b.scaled, sizer: sizer,
+		name: a.name + ".join", parents: []rddBase{a, b},
+	}
+	out.wide = func() error {
+		c := a.ctx.cluster
+		c.Advance(c.Config().Cost.SparkJobLaunch)
+
+		type sides struct {
+			left  []V
+			right []W
+		}
+		reducers := make([]*omap[K, *sides], out.parts)
+		bufBytes := make([]int64, out.parts)
+		for i := range reducers {
+			reducers[i] = newOmap[K, *sides]()
+		}
+		getSides := func(o *omap[K, *sides], k K) *sides {
+			s, ok := o.get(k)
+			if !ok {
+				s = &sides{}
+				o.set(k, s)
+			}
+			return s
+		}
+		scaleIf := func(bytes int64, scaled bool) int64 {
+			if scaled {
+				return int64(float64(bytes) * c.Scale())
+			}
+			return bytes
+		}
+		// Map side: both inputs shuffle to the same reducers.
+		err := c.RunPhase("join-map-left "+out.name, a.partTasks(func(p int, m *sim.Meter) error {
+			in, err := a.partition(p, m)
+			if err != nil {
+				return err
+			}
+			a.chargeTuples(m, len(in))
+			for _, kv := range in {
+				t := int(hashKey(kv.K) % uint64(out.parts))
+				bytes := a.sizer(kv)
+				shipBytes(m, a.scaled, a.ctx.machineFor(t), bytes)
+				bufBytes[t] += scaleIf(bytes, a.scaled)
+				getSides(reducers[t], kv.K).left = append(getSides(reducers[t], kv.K).left, kv.V)
+			}
+			return nil
+		}))
+		if err != nil {
+			return err
+		}
+		err = c.RunPhase("join-map-right "+out.name, b.partTasks(func(p int, m *sim.Meter) error {
+			in, err := b.partition(p, m)
+			if err != nil {
+				return err
+			}
+			b.chargeTuples(m, len(in))
+			for _, kv := range in {
+				t := int(hashKey(kv.K) % uint64(out.parts))
+				bytes := b.sizer(kv)
+				shipBytes(m, b.scaled, b.ctx.machineFor(t), bytes)
+				bufBytes[t] += scaleIf(bytes, b.scaled)
+				getSides(reducers[t], kv.K).right = append(getSides(reducers[t], kv.K).right, kv.V)
+			}
+			return nil
+		}))
+		if err != nil {
+			return err
+		}
+		// Reduce side: buffer both sides in memory, emit the cross product.
+		mat := make([][]Pair[K, Two[V, W]], out.parts)
+		err = c.RunPhase("join-reduce "+out.name, tasksFor(out.ctx, out.parts, func(p int, m *sim.Meter) error {
+			m.SetProfile(out.ctx.profile)
+			if err := m.Machine().Alloc(bufBytes[p], "join buffer "+out.name); err != nil {
+				return err
+			}
+			defer m.Machine().Free(bufBytes[p])
+			var res []Pair[K, Two[V, W]]
+			reducers[p].each(func(k K, s *sides) {
+				for _, v := range s.left {
+					for _, w := range s.right {
+						res = append(res, Pair[K, Two[V, W]]{K: k, V: Two[V, W]{A: v, B: w}})
+					}
+				}
+			})
+			out.chargeTuples(m, len(res))
+			mat[p] = res
+			return nil
+		}))
+		if err != nil {
+			return err
+		}
+		out.mat, out.haveMat = mat, true
+		return nil
+	}
+	return out
+}
+
+// runShuffle is the common two-phase shuffle: map-side fold into per-target
+// ordered accumulator maps with network and shuffle-file charging, then a
+// reduce-side merge with transient memory accounting.
+func runShuffle[K comparable, V, A, O any](
+	in *RDD[Pair[K, V]],
+	out *RDD[O],
+	fold func(m *sim.Meter, dst *omap[K, A], kv Pair[K, V]),
+	mergeAcc func(m *sim.Meter, a, b A) A,
+	accBytes func(K, A) int64,
+	finish func(*omap[K, A]) []O,
+) error {
+	c := in.ctx.cluster
+	cost := c.Config().Cost
+	c.Advance(cost.SparkJobLaunch)
+
+	reducers := make([]*omap[K, A], out.parts)
+	partialBytes := make([]int64, out.parts) // pre-merge resident partials per reducer
+	for i := range reducers {
+		reducers[i] = newOmap[K, A]()
+	}
+	// Map side: compute input partitions, combine locally per target, ship.
+	err := c.RunPhase("shuffle-map "+out.name, in.partTasks(func(p int, m *sim.Meter) error {
+		data, err := in.partition(p, m)
+		if err != nil {
+			return err
+		}
+		in.chargeTuples(m, len(data))
+		local := make([]*omap[K, A], out.parts)
+		for _, kv := range data {
+			t := int(hashKey(kv.K) % uint64(out.parts))
+			if local[t] == nil {
+				local[t] = newOmap[K, A]()
+			}
+			fold(m, local[t], kv)
+		}
+		var wrote int64
+		for t, l := range local {
+			if l == nil {
+				continue
+			}
+			dstMachine := in.ctx.machineFor(t)
+			l.each(func(k K, a A) {
+				b := accBytes(k, a)
+				wrote += b
+				// Post-combine partials have the output's cardinality:
+				// model-sized aggregations ship unscaled partials even
+				// when the input was data-proportional.
+				shipBytes(m, out.scaled, dstMachine, b)
+				partialBytes[t] += b
+				reducers[t].merge(k, a, func(old, new A) A { return mergeAcc(m, old, new) })
+			})
+		}
+		// Shuffle files are written to local disk before shipping.
+		diskBytes := float64(wrote)
+		if out.scaled {
+			diskBytes *= c.Scale()
+		}
+		m.ChargeSec(diskBytes / cost.DiskBytesPerSec)
+		return nil
+	}))
+	if err != nil {
+		return err
+	}
+	// Reduce side: transient buffer + finish.
+	mat := make([][]O, out.parts)
+	err = c.RunPhase("shuffle-reduce "+out.name, tasksFor(out.ctx, out.parts, func(p int, m *sim.Meter) error {
+		m.SetProfile(out.ctx.profile)
+		red := reducers[p]
+		// The reducer buffers every received partial before merging, so
+		// its footprint is the pre-merge volume (one partial per sending
+		// partition per key), not the merged result.
+		bufBytes := partialBytes[p]
+		if out.scaled {
+			bufBytes = int64(float64(bufBytes) * c.Scale())
+		}
+		if err := m.Machine().Alloc(bufBytes, "shuffle buffer "+out.name); err != nil {
+			return err
+		}
+		defer m.Machine().Free(bufBytes)
+		if out.scaled {
+			m.ChargeTuples(red.size())
+		} else {
+			m.ChargeTuplesAbs(float64(red.size()))
+		}
+		mat[p] = finish(red)
+		return nil
+	}))
+	if err != nil {
+		return err
+	}
+	out.mat, out.haveMat = mat, true
+	return nil
+}
+
+// shipBytes records a shuffle transfer, scaled if the RDD is
+// data-proportional.
+func shipBytes(m *sim.Meter, scaled bool, dstMachine int, bytes int64) {
+	if scaled {
+		m.SendData(dstMachine, float64(bytes))
+	} else {
+		m.SendModel(dstMachine, float64(bytes))
+	}
+}
+
+// tasksFor builds one task per partition for an RDD-shaped phase without
+// needing the typed RDD (used for reduce-side phases of shuffles).
+func tasksFor(ctx *Context, parts int, fn func(p int, m *sim.Meter) error) []sim.Task {
+	tasks := make([]sim.Task, parts)
+	for p := 0; p < parts; p++ {
+		p := p
+		tasks[p] = sim.Task{Machine: ctx.machineFor(p), Run: func(m *sim.Meter) error {
+			return fn(p, m)
+		}}
+	}
+	return tasks
+}

@@ -1,0 +1,112 @@
+// Package diag provides MCMC convergence diagnostics for the benchmark's
+// samplers: autocorrelation, effective sample size, and the Gelman-Rubin
+// potential scale reduction factor (R-hat). The paper's primer notes that
+// "a simulation that traverses only a few dozen to a few thousand
+// possible values ... will suffice to 'mix' the chain"; these diagnostics
+// make that checkable for the chains this repository runs.
+package diag
+
+import (
+	"fmt"
+	"math"
+)
+
+// MeanVar returns the sample mean and (unbiased) variance of xs.
+func MeanVar(xs []float64) (mean, variance float64) {
+	n := float64(len(xs))
+	if n == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= n
+	if n < 2 {
+		return mean, 0
+	}
+	for _, x := range xs {
+		d := x - mean
+		variance += d * d
+	}
+	variance /= n - 1
+	return
+}
+
+// Autocorr returns the lag-k autocorrelation of the chain (0 when the
+// chain is too short or constant).
+func Autocorr(xs []float64, lag int) float64 {
+	if lag < 0 || lag >= len(xs) {
+		return 0
+	}
+	mean, variance := MeanVar(xs)
+	if variance == 0 {
+		return 0
+	}
+	var s float64
+	for i := 0; i+lag < len(xs); i++ {
+		s += (xs[i] - mean) * (xs[i+lag] - mean)
+	}
+	return s / (float64(len(xs)-1) * variance)
+}
+
+// ESS estimates the effective sample size with Geyer's initial positive
+// sequence: sums of adjacent autocorrelation pairs are accumulated while
+// they remain positive.
+func ESS(xs []float64) float64 {
+	n := len(xs)
+	if n < 4 {
+		return float64(n)
+	}
+	var rhoSum float64
+	for k := 1; k+1 < n; k += 2 {
+		pair := Autocorr(xs, k) + Autocorr(xs, k+1)
+		if pair <= 0 {
+			break
+		}
+		rhoSum += pair
+	}
+	ess := float64(n) / (1 + 2*rhoSum)
+	if ess > float64(n) {
+		ess = float64(n)
+	}
+	if ess < 1 {
+		ess = 1
+	}
+	return ess
+}
+
+// RHat computes the Gelman-Rubin potential scale reduction factor over
+// two or more chains of equal length. Values near 1 indicate the chains
+// have mixed; above ~1.1 they have not. It returns an error for fewer
+// than two chains or mismatched lengths.
+func RHat(chains [][]float64) (float64, error) {
+	m := len(chains)
+	if m < 2 {
+		return 0, fmt.Errorf("diag: RHat needs at least two chains, got %d", m)
+	}
+	n := len(chains[0])
+	if n < 2 {
+		return 0, fmt.Errorf("diag: chains too short (%d draws)", n)
+	}
+	means := make([]float64, m)
+	vars := make([]float64, m)
+	for i, c := range chains {
+		if len(c) != n {
+			return 0, fmt.Errorf("diag: chain %d has %d draws, want %d", i, len(c), n)
+		}
+		means[i], vars[i] = MeanVar(c)
+	}
+	grand, betweenVar := MeanVar(means)
+	_ = grand
+	b := float64(n) * betweenVar // between-chain variance
+	var w float64                // within-chain variance
+	for _, v := range vars {
+		w += v
+	}
+	w /= float64(m)
+	if w == 0 {
+		return 1, nil
+	}
+	varPlus := (float64(n-1)/float64(n))*w + b/float64(n)
+	return math.Sqrt(varPlus / w), nil
+}

@@ -1,0 +1,201 @@
+// Package hmm implements the hidden Markov model Gibbs sampler of the
+// paper's Section 7: a text HMM with per-state word-emission vectors Psi_s
+// and state-transition vectors delta_s under Dirichlet priors, learned by
+// a sampler that updates every other state assignment per iteration
+// (even positions on even iterations, odd positions on odd ones) so the
+// conditional updates are valid in parallel.
+package hmm
+
+import (
+	"math"
+
+	"mlbench/internal/linalg"
+	"mlbench/internal/randgen"
+)
+
+// Hyper holds the model's fixed configuration.
+type Hyper struct {
+	K     int     // hidden states
+	V     int     // vocabulary size
+	Alpha float64 // Dirichlet prior on transitions
+	Beta  float64 // Dirichlet prior on emissions
+}
+
+// Model is the chain state shared across documents: the start
+// distribution delta_0, the transition matrix delta and the emission
+// matrix Psi.
+type Model struct {
+	K, V   int
+	Delta0 linalg.Vec   // start-state distribution
+	Delta  []linalg.Vec // K x K transitions
+	Psi    []linalg.Vec // K x V emissions
+}
+
+// Bytes returns the simulated size of the model state.
+func (m *Model) Bytes() int64 {
+	return int64(8 * (m.K + m.K*m.K + m.K*m.V))
+}
+
+// Init draws a model from the priors.
+func Init(rng *randgen.RNG, h Hyper) *Model {
+	m := &Model{K: h.K, V: h.V}
+	alpha := uniform(h.K, h.Alpha)
+	beta := uniform(h.V, h.Beta)
+	m.Delta0 = rng.Dirichlet(alpha)
+	for s := 0; s < h.K; s++ {
+		m.Delta = append(m.Delta, rng.Dirichlet(alpha))
+		m.Psi = append(m.Psi, rng.Dirichlet(beta))
+	}
+	return m
+}
+
+func uniform(n int, v float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+// InitStates assigns uniformly random initial states to a document.
+func InitStates(rng *randgen.RNG, words []int, k int) []int {
+	states := make([]int, len(words))
+	for i := range states {
+		states[i] = rng.Intn(k)
+	}
+	return states
+}
+
+// ResampleStates updates the state assignments of one document for
+// iteration iter, touching position k (1-based) only when k and iter have
+// the same parity — the paper's alternating scheme. states is mutated.
+func (m *Model) ResampleStates(rng *randgen.RNG, words, states []int, iter int) {
+	n := len(words)
+	w := make([]float64, m.K)
+	for pos := 0; pos < n; pos++ {
+		if (pos+1)%2 != iter%2 { // 1-based position parity must match iteration parity
+			continue
+		}
+		for s := 0; s < m.K; s++ {
+			p := m.Psi[s][words[pos]]
+			if pos == 0 {
+				p *= m.Delta0[s]
+			} else {
+				p *= m.Delta[states[pos-1]][s]
+			}
+			if pos != n-1 {
+				p *= m.Delta[s][states[pos+1]]
+			}
+			w[s] = p
+		}
+		states[pos] = safeCategorical(rng, w)
+	}
+}
+
+// safeCategorical falls back to uniform when all weights underflow.
+func safeCategorical(rng *randgen.RNG, w []float64) int {
+	var total float64
+	for _, x := range w {
+		total += x
+	}
+	if total <= 0 {
+		return rng.Intn(len(w))
+	}
+	return rng.Categorical(w)
+}
+
+// StateFlops approximates the floating-point work of resampling one
+// position's state (K weights, three factors each).
+func StateFlops(k int) float64 { return 4 * float64(k) }
+
+// Counts aggregates the statistics the model updates need: f(w,s) word
+// emissions, g(s) start states and h(s,s') transitions.
+type Counts struct {
+	K, V  int
+	Emit  []linalg.Vec // K x V: f(w, s)
+	Start linalg.Vec   // K: g(s)
+	Trans []linalg.Vec // K x K: h(s, s')
+}
+
+// NewCounts returns zeroed counts.
+func NewCounts(k, v int) *Counts {
+	c := &Counts{K: k, V: v, Start: linalg.NewVec(k)}
+	for s := 0; s < k; s++ {
+		c.Emit = append(c.Emit, linalg.NewVec(v))
+		c.Trans = append(c.Trans, linalg.NewVec(k))
+	}
+	return c
+}
+
+// Accumulate absorbs one document's assignments with the given weight.
+func (c *Counts) Accumulate(words, states []int, weight float64) {
+	if len(words) == 0 {
+		return
+	}
+	c.Start[states[0]] += weight
+	for i, w := range words {
+		c.Emit[states[i]][w] += weight
+		if i+1 < len(states) {
+			c.Trans[states[i]][states[i+1]] += weight
+		}
+	}
+}
+
+// Merge folds other into c.
+func (c *Counts) Merge(o *Counts) {
+	o.Start.AddTo(c.Start)
+	for s := 0; s < c.K; s++ {
+		o.Emit[s].AddTo(c.Emit[s])
+		o.Trans[s].AddTo(c.Trans[s])
+	}
+}
+
+// Bytes returns the simulated size of the counts (the aggregation payload
+// each worker ships: roughly K*V + K*K + K doubles).
+func (c *Counts) Bytes() int64 {
+	return int64(8 * (c.K*c.V + c.K*c.K + c.K))
+}
+
+// UpdateModel draws the next model from the Dirichlet conditionals given
+// the aggregated counts. m is mutated.
+func (m *Model) UpdateModel(rng *randgen.RNG, h Hyper, c *Counts) {
+	alpha := make([]float64, m.K)
+	for s := range alpha {
+		alpha[s] = h.Alpha + c.Start[s]
+	}
+	m.Delta0 = rng.Dirichlet(alpha)
+	for s := 0; s < m.K; s++ {
+		for t := 0; t < m.K; t++ {
+			alpha[t] = h.Alpha + c.Trans[s][t]
+		}
+		m.Delta[s] = rng.Dirichlet(alpha)
+		beta := make([]float64, m.V)
+		for w := range beta {
+			beta[w] = h.Beta + c.Emit[s][w]
+		}
+		m.Psi[s] = rng.Dirichlet(beta)
+	}
+}
+
+// LogLikelihood returns the joint log-probability of one document's words
+// and states under the model (a convergence diagnostic).
+func (m *Model) LogLikelihood(words, states []int) float64 {
+	if len(words) == 0 {
+		return 0
+	}
+	ll := logf(m.Delta0[states[0]])
+	for i, w := range words {
+		ll += logf(m.Psi[states[i]][w])
+		if i+1 < len(states) {
+			ll += logf(m.Delta[states[i]][states[i+1]])
+		}
+	}
+	return ll
+}
+
+func logf(x float64) float64 {
+	if x < 1e-300 {
+		x = 1e-300
+	}
+	return math.Log(x)
+}

@@ -1,0 +1,167 @@
+// Package impute implements the Gaussian missing-data imputation model of
+// the paper's Section 9: a Gaussian mixture model extended with one extra
+// Gibbs step that redraws each data point's censored coordinates from the
+// conditional multivariate normal of its assigned cluster,
+//
+//	x1 | x2 ~ Normal(mu1 + S12 S22^{-1} (x2 - mu2), S11 - S12 S22^{-1} S21),
+//
+// where the dimensions are partitioned into censored (1) and observed (2)
+// blocks.
+package impute
+
+import (
+	"fmt"
+	"math"
+
+	"mlbench/internal/linalg"
+	"mlbench/internal/randgen"
+)
+
+// Partition splits dimension indices into censored and observed lists.
+func Partition(missing []bool) (censored, observed []int) {
+	for i, m := range missing {
+		if m {
+			censored = append(censored, i)
+		} else {
+			observed = append(observed, i)
+		}
+	}
+	return
+}
+
+// Conditional computes the conditional mean and covariance of the
+// censored block given the observed values under Normal(mu, sigma).
+func Conditional(mu linalg.Vec, sigma *linalg.Mat, censored, observed []int, xObs linalg.Vec) (linalg.Vec, *linalg.Mat, error) {
+	c, o := len(censored), len(observed)
+	if o == 0 {
+		// Nothing observed: the conditional is the marginal.
+		muC := make(linalg.Vec, c)
+		sigC := linalg.NewMat(c, c)
+		for i, ci := range censored {
+			muC[i] = mu[ci]
+			for j, cj := range censored {
+				sigC.Set(i, j, sigma.At(ci, cj))
+			}
+		}
+		return muC, sigC, nil
+	}
+	s11 := linalg.NewMat(c, c)
+	s12 := linalg.NewMat(c, o)
+	s22 := linalg.NewMat(o, o)
+	for i, ci := range censored {
+		for j, cj := range censored {
+			s11.Set(i, j, sigma.At(ci, cj))
+		}
+		for j, oj := range observed {
+			s12.Set(i, j, sigma.At(ci, oj))
+		}
+	}
+	for i, oi := range observed {
+		for j, oj := range observed {
+			s22.Set(i, j, sigma.At(oi, oj))
+		}
+	}
+	l22, err := linalg.Cholesky(s22)
+	if err != nil {
+		return nil, nil, fmt.Errorf("impute: observed block: %w", err)
+	}
+	// diff = x2 - mu2.
+	diff := make(linalg.Vec, o)
+	for i, oi := range observed {
+		diff[i] = xObs[i] - mu[oi]
+	}
+	// muC = mu1 + S12 S22^{-1} diff.
+	sol := linalg.CholSolve(l22, diff)
+	muC := make(linalg.Vec, c)
+	for i, ci := range censored {
+		muC[i] = mu[ci] + s12.Row(i).Dot(sol)
+	}
+	// sigC = S11 - S12 S22^{-1} S21.
+	s22inv := linalg.CholInverse(l22)
+	adj := s12.MulMat(s22inv).MulMat(s12.T())
+	sigC := s11.Sub(adj).Symmetrize()
+	// Guard tiny negative eigenvalues from round-off.
+	for i := 0; i < c; i++ {
+		if sigC.At(i, i) < 1e-9 {
+			sigC.Set(i, i, sigC.At(i, i)+1e-9)
+		}
+	}
+	return muC, sigC, nil
+}
+
+// SampleMissing redraws x's censored coordinates in place from the
+// conditional normal of cluster (mu, sigma). missing[i] marks censored
+// dimensions.
+func SampleMissing(rng *randgen.RNG, x linalg.Vec, missing []bool, mu linalg.Vec, sigma *linalg.Mat) error {
+	censored, observed := Partition(missing)
+	if len(censored) == 0 {
+		return nil
+	}
+	xObs := make(linalg.Vec, len(observed))
+	for i, oi := range observed {
+		xObs[i] = x[oi]
+	}
+	muC, sigC, err := Conditional(mu, sigma, censored, observed, xObs)
+	if err != nil {
+		return err
+	}
+	draw, err := rng.MVNormal(muC, sigC)
+	if err != nil {
+		return fmt.Errorf("impute: conditional draw: %w", err)
+	}
+	for i, ci := range censored {
+		x[ci] = draw[i]
+	}
+	return nil
+}
+
+// Flops approximates the work of one conditional draw at dimension d
+// (block extraction, a Cholesky of the observed block, and solves).
+func Flops(d int) float64 { return 3 * float64(d) * float64(d) * float64(d) }
+
+// SampleMembershipObserved draws a cluster assignment from the marginal
+// posterior over the OBSERVED coordinates only:
+//
+//	Pr[c = k] ∝ pi_k N(x_obs | mu_k[obs], Sigma_k[obs, obs]).
+//
+// Together with SampleMissing this forms a blocked Gibbs update of
+// (c, x_missing) — sampling c from imputed coordinates instead creates a
+// self-reinforcing loop that stalls the chain under heavy censoring.
+func SampleMembershipObserved(rng *randgen.RNG, pi []float64, mu []linalg.Vec, sigma []*linalg.Mat, x linalg.Vec, missing []bool) (int, error) {
+	_, observed := Partition(missing)
+	if len(observed) == 0 {
+		return rng.Categorical(pi), nil
+	}
+	o := len(observed)
+	xObs := make(linalg.Vec, o)
+	for i, oi := range observed {
+		xObs[i] = x[oi]
+	}
+	k := len(pi)
+	logs := make([]float64, k)
+	max := math.Inf(-1)
+	diff := make(linalg.Vec, o)
+	for c := 0; c < k; c++ {
+		sub := linalg.NewMat(o, o)
+		for i, oi := range observed {
+			diff[i] = xObs[i] - mu[c][oi]
+			for j, oj := range observed {
+				sub.Set(i, j, sigma[c].At(oi, oj))
+			}
+		}
+		l, err := linalg.Cholesky(sub)
+		if err != nil {
+			return 0, fmt.Errorf("impute: observed block of cluster %d: %w", c, err)
+		}
+		sol := linalg.SolveLower(l, diff)
+		logs[c] = math.Log(pi[c]) - 0.5*(float64(o)*math.Log(2*math.Pi)+linalg.CholLogDet(l)+sol.Dot(sol))
+		if logs[c] > max {
+			max = logs[c]
+		}
+	}
+	w := make([]float64, k)
+	for c := range w {
+		w[c] = math.Exp(logs[c] - max)
+	}
+	return rng.Categorical(w), nil
+}

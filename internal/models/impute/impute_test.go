@@ -1,0 +1,223 @@
+package impute
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mlbench/internal/linalg"
+	"mlbench/internal/randgen"
+)
+
+func TestPartition(t *testing.T) {
+	c, o := Partition([]bool{true, false, false, true})
+	if len(c) != 2 || c[0] != 0 || c[1] != 3 {
+		t.Errorf("censored = %v", c)
+	}
+	if len(o) != 2 || o[0] != 1 || o[1] != 2 {
+		t.Errorf("observed = %v", o)
+	}
+}
+
+func TestConditionalBivariate(t *testing.T) {
+	// Classic bivariate normal: x1|x2 ~ N(mu1 + rho*s1/s2*(x2-mu2),
+	// s1^2(1-rho^2)). Take mu=(1,2), s1=2, s2=1, rho=0.5.
+	mu := linalg.Vec{1, 2}
+	sigma := &linalg.Mat{Rows: 2, Cols: 2, Data: []float64{4, 1, 1, 1}}
+	muC, sigC, err := Conditional(mu, sigma, []int{0}, []int{1}, linalg.Vec{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMean := 1 + (1.0/1.0)*(3-2) // mu1 + S12 S22^{-1} (x2-mu2) = 1+1 = 2
+	if math.Abs(muC[0]-wantMean) > 1e-12 {
+		t.Errorf("conditional mean = %v, want %v", muC[0], wantMean)
+	}
+	wantVar := 4 - 1*1.0 // S11 - S12 S22^{-1} S21 = 3
+	if math.Abs(sigC.At(0, 0)-wantVar) > 1e-9 {
+		t.Errorf("conditional var = %v, want %v", sigC.At(0, 0), wantVar)
+	}
+}
+
+func TestConditionalNothingObserved(t *testing.T) {
+	mu := linalg.Vec{1, 2}
+	sigma := linalg.Eye(2)
+	muC, sigC, err := Conditional(mu, sigma, []int{0, 1}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if muC[0] != 1 || muC[1] != 2 {
+		t.Errorf("marginal mean = %v", muC)
+	}
+	if sigC.At(0, 0) != 1 || sigC.At(0, 1) != 0 {
+		t.Errorf("marginal cov = %v", sigC.Data)
+	}
+}
+
+func TestSampleMissingFullyObservedNoop(t *testing.T) {
+	rng := randgen.New(1)
+	x := linalg.Vec{1, 2}
+	if err := SampleMissing(rng, x, []bool{false, false}, linalg.Vec{0, 0}, linalg.Eye(2)); err != nil {
+		t.Fatal(err)
+	}
+	if x[0] != 1 || x[1] != 2 {
+		t.Errorf("fully observed point was modified: %v", x)
+	}
+}
+
+func TestSampleMissingUsesCorrelation(t *testing.T) {
+	// Strong positive correlation: when x2 is far above its mean, drawn
+	// x1 should also be above its mean on average.
+	rng := randgen.New(2)
+	mu := linalg.Vec{0, 0}
+	sigma := &linalg.Mat{Rows: 2, Cols: 2, Data: []float64{1, 0.9, 0.9, 1}}
+	var sum float64
+	const n = 5000
+	for i := 0; i < n; i++ {
+		x := linalg.Vec{0, 3}
+		if err := SampleMissing(rng, x, []bool{true, false}, mu, sigma); err != nil {
+			t.Fatal(err)
+		}
+		sum += x[0]
+	}
+	if got := sum / n; math.Abs(got-2.7) > 0.1 { // 0.9 * 3
+		t.Errorf("conditional mean of draws = %v, want ~2.7", got)
+	}
+}
+
+func TestSampleMissingReducesError(t *testing.T) {
+	// Imputing from the true generating Gaussian should beat mean
+	// imputation in mean squared error.
+	rng := randgen.New(3)
+	mu := linalg.Vec{0, 0, 0}
+	sigma := &linalg.Mat{Rows: 3, Cols: 3, Data: []float64{
+		1, 0.8, 0.8,
+		0.8, 1, 0.8,
+		0.8, 0.8, 1,
+	}}
+	l, err := linalg.Cholesky(sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var impErr, meanErr float64
+	const n = 3000
+	for i := 0; i < n; i++ {
+		truth := rng.MVNormalChol(mu, l)
+		x := truth.Clone()
+		x[0] = 0
+		if err := SampleMissing(rng, x, []bool{true, false, false}, mu, sigma); err != nil {
+			t.Fatal(err)
+		}
+		impErr += (x[0] - truth[0]) * (x[0] - truth[0])
+		meanErr += truth[0] * truth[0] // mean imputation predicts 0
+	}
+	if impErr >= meanErr*0.6 {
+		t.Errorf("imputation MSE %v not clearly better than mean imputation %v", impErr/n, meanErr/n)
+	}
+}
+
+// Property: conditional covariance is symmetric and has non-negative
+// diagonal for random SPD matrices and random masks.
+func TestQuickConditionalValid(t *testing.T) {
+	f := func(seed uint64, maskBits uint8) bool {
+		rng := randgen.New(seed)
+		const d = 4
+		// Random SPD sigma.
+		b := linalg.NewMat(d, d)
+		for i := range b.Data {
+			b.Data[i] = rng.Norm()
+		}
+		sigma := b.MulMat(b.T())
+		for i := 0; i < d; i++ {
+			sigma.Set(i, i, sigma.At(i, i)+float64(d))
+		}
+		missing := make([]bool, d)
+		any := false
+		for i := 0; i < d; i++ {
+			missing[i] = maskBits&(1<<i) != 0
+			any = any || missing[i]
+		}
+		if !any {
+			return true
+		}
+		cen, obs := Partition(missing)
+		xObs := make(linalg.Vec, len(obs))
+		for i := range xObs {
+			xObs[i] = rng.Norm()
+		}
+		mu := linalg.NewVec(d)
+		muC, sigC, err := Conditional(mu, sigma, cen, obs, xObs)
+		if err != nil {
+			return false
+		}
+		if len(muC) != len(cen) {
+			return false
+		}
+		for i := 0; i < sigC.Rows; i++ {
+			if sigC.At(i, i) < 0 {
+				return false
+			}
+			for j := 0; j < sigC.Cols; j++ {
+				if math.Abs(sigC.At(i, j)-sigC.At(j, i)) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFlopsPositive(t *testing.T) {
+	if Flops(10) <= 0 {
+		t.Error("Flops must be positive")
+	}
+}
+
+func TestSampleMembershipObservedPrefersMatchingCluster(t *testing.T) {
+	rng := randgen.New(9)
+	pi := []float64{0.5, 0.5}
+	mu := []linalg.Vec{{-10, -10}, {10, 10}}
+	sigma := []*linalg.Mat{linalg.Eye(2), linalg.Eye(2)}
+	// Only dimension 0 is observed, near cluster 1's mean.
+	x := linalg.Vec{9.5, 0}
+	missing := []bool{false, true}
+	for i := 0; i < 50; i++ {
+		c, err := SampleMembershipObserved(rng, pi, mu, sigma, x, missing)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c != 1 {
+			t.Fatalf("observed-marginal membership = %d, want 1", c)
+		}
+	}
+}
+
+func TestSampleMembershipObservedFullyCensoredUsesPrior(t *testing.T) {
+	rng := randgen.New(10)
+	pi := []float64{0.999, 0.001}
+	mu := []linalg.Vec{{0}, {100}}
+	sigma := []*linalg.Mat{linalg.Eye(1), linalg.Eye(1)}
+	counts := [2]int{}
+	for i := 0; i < 500; i++ {
+		c, err := SampleMembershipObserved(rng, pi, mu, sigma, linalg.Vec{0}, []bool{true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[c]++
+	}
+	if counts[0] < 480 {
+		t.Errorf("fully censored point should follow the prior: %v", counts)
+	}
+}
+
+func TestSampleMembershipObservedRejectsBadCovariance(t *testing.T) {
+	rng := randgen.New(11)
+	bad := &linalg.Mat{Rows: 1, Cols: 1, Data: []float64{-1}}
+	_, err := SampleMembershipObserved(rng, []float64{1}, []linalg.Vec{{0}}, []*linalg.Mat{bad},
+		linalg.Vec{0}, []bool{false})
+	if err == nil {
+		t.Fatal("expected error for indefinite covariance")
+	}
+}

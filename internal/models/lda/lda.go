@@ -1,0 +1,193 @@
+// Package lda implements the non-collapsed latent Dirichlet allocation
+// Gibbs sampler of the paper's Section 8. The paper deliberately
+// benchmarks the NON-collapsed sampler: unlike the ubiquitous collapsed
+// variant, it keeps the per-document topic distributions theta_j and the
+// topic-word distributions phi_t as explicit variables, which makes the
+// parallel updates exactly correct (the collapsed sampler's concurrent
+// updates ignore the correlations that collapsing induces).
+package lda
+
+import (
+	"math"
+
+	"mlbench/internal/linalg"
+	"mlbench/internal/randgen"
+)
+
+// Hyper holds the model's fixed configuration.
+type Hyper struct {
+	T     int     // topics
+	V     int     // vocabulary size
+	Alpha float64 // Dirichlet prior on document-topic distributions
+	Beta  float64 // Dirichlet prior on topic-word distributions
+}
+
+// Model is the global chain state: the topic-word matrix phi.
+type Model struct {
+	T, V int
+	Phi  []linalg.Vec // T x V
+}
+
+// Bytes returns the simulated size of the topic-word matrix — the model
+// payload whose five-fold growth over the HMM "makes the task a bit more
+// difficult, especially for Giraph".
+func (m *Model) Bytes() int64 { return int64(8 * m.T * m.V) }
+
+// Init draws phi from the prior.
+func Init(rng *randgen.RNG, h Hyper) *Model {
+	m := &Model{T: h.T, V: h.V}
+	beta := make([]float64, h.V)
+	for i := range beta {
+		beta[i] = h.Beta
+	}
+	for t := 0; t < h.T; t++ {
+		m.Phi = append(m.Phi, rng.Dirichlet(beta))
+	}
+	return m
+}
+
+// Doc is one document's chain state: its words, topic assignments z and
+// topic distribution theta.
+type Doc struct {
+	Words []int
+	Z     []int
+	Theta linalg.Vec
+}
+
+// InitDoc assigns uniform random topics and a prior theta draw.
+func InitDoc(rng *randgen.RNG, words []int, h Hyper) *Doc {
+	d := &Doc{Words: words, Z: make([]int, len(words))}
+	for i := range d.Z {
+		d.Z[i] = rng.Intn(h.T)
+	}
+	alpha := make([]float64, h.T)
+	for i := range alpha {
+		alpha[i] = h.Alpha
+	}
+	d.Theta = rng.Dirichlet(alpha)
+	return d
+}
+
+// ResampleZ redraws every topic assignment in the document:
+// Pr[z = t] ∝ theta_t * phi_{t, w}.
+func (m *Model) ResampleZ(rng *randgen.RNG, d *Doc) {
+	w := make([]float64, m.T)
+	for i, word := range d.Words {
+		var total float64
+		for t := 0; t < m.T; t++ {
+			w[t] = d.Theta[t] * m.Phi[t][word]
+			total += w[t]
+		}
+		if total <= 0 {
+			d.Z[i] = rng.Intn(m.T)
+			continue
+		}
+		d.Z[i] = rng.Categorical(w)
+	}
+}
+
+// ZFlops approximates the work of resampling one word's topic.
+func ZFlops(t int) float64 { return 3 * float64(t) }
+
+// TopicCounts returns f(j, .): the document's per-topic assignment counts.
+func (d *Doc) TopicCounts(t int) linalg.Vec {
+	f := linalg.NewVec(t)
+	for _, z := range d.Z {
+		f[z]++
+	}
+	return f
+}
+
+// ResampleTheta redraws theta_j ~ Dirichlet(alpha + f(j, .)).
+func (d *Doc) ResampleTheta(rng *randgen.RNG, h Hyper) {
+	f := d.TopicCounts(h.T)
+	for t := range f {
+		f[t] += h.Alpha
+	}
+	d.Theta = rng.Dirichlet(f)
+}
+
+// WordCounts aggregates g(t, w): per-topic word counts across documents.
+type WordCounts struct {
+	T, V int
+	G    []linalg.Vec // T x V
+}
+
+// NewWordCounts returns zeroed counts.
+func NewWordCounts(t, v int) *WordCounts {
+	c := &WordCounts{T: t, V: v}
+	for i := 0; i < t; i++ {
+		c.G = append(c.G, linalg.NewVec(v))
+	}
+	return c
+}
+
+// Accumulate absorbs one document's assignments with the given weight.
+func (c *WordCounts) Accumulate(d *Doc, weight float64) {
+	for i, word := range d.Words {
+		c.G[d.Z[i]][word] += weight
+	}
+}
+
+// Merge folds other into c.
+func (c *WordCounts) Merge(o *WordCounts) {
+	for t := 0; t < c.T; t++ {
+		o.G[t].AddTo(c.G[t])
+	}
+}
+
+// Bytes returns the simulated size of the counts payload.
+func (c *WordCounts) Bytes() int64 { return int64(8 * c.T * c.V) }
+
+// UpdatePhi redraws each phi_t ~ Dirichlet(beta + g(t, .)). m is mutated.
+func (m *Model) UpdatePhi(rng *randgen.RNG, h Hyper, c *WordCounts) {
+	beta := make([]float64, m.V)
+	for t := 0; t < m.T; t++ {
+		for w := range beta {
+			beta[w] = h.Beta + c.G[t][w]
+		}
+		m.Phi[t] = rng.Dirichlet(beta)
+	}
+}
+
+// LogLikelihood returns the document's word log-likelihood under its
+// theta and the model (a convergence diagnostic; lower perplexity =
+// higher value).
+func (m *Model) LogLikelihood(d *Doc) float64 {
+	var ll float64
+	for _, word := range d.Words {
+		var p float64
+		for t := 0; t < m.T; t++ {
+			p += d.Theta[t] * m.Phi[t][word]
+		}
+		if p < 1e-300 {
+			p = 1e-300
+		}
+		ll += math.Log(p)
+	}
+	return ll
+}
+
+// TopWords returns the indices of the n highest-probability words of
+// topic t (for the topic-model example's output).
+func (m *Model) TopWords(t, n int) []int {
+	type wp struct {
+		w int
+		p float64
+	}
+	best := make([]wp, 0, n+1)
+	for w, p := range m.Phi[t] {
+		best = append(best, wp{w, p})
+		for i := len(best) - 1; i > 0 && best[i].p > best[i-1].p; i-- {
+			best[i], best[i-1] = best[i-1], best[i]
+		}
+		if len(best) > n {
+			best = best[:n]
+		}
+	}
+	out := make([]int, len(best))
+	for i, b := range best {
+		out[i] = b.w
+	}
+	return out
+}

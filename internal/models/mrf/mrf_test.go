@@ -1,0 +1,77 @@
+package mrf
+
+import (
+	"testing"
+
+	"mlbench/internal/randgen"
+)
+
+func testCfg() Config {
+	return Config{Rows: 64, Cols: 64, Labels: 4, Beta: 1.5, NoiseP: 0.3}
+}
+
+func TestGenerateShapes(t *testing.T) {
+	g := Generate(randgen.New(1), testCfg())
+	n := 64 * 64
+	if len(g.Labels) != n || len(g.Obs) != n || len(g.Truth) != n {
+		t.Fatalf("sizes wrong")
+	}
+	for _, l := range g.Truth {
+		if l < 0 || l >= 4 {
+			t.Fatalf("truth label %d out of range", l)
+		}
+	}
+	// Observations should match truth roughly (1 - 0.3*(3/4)) of the time.
+	acc := g.ObsAccuracy()
+	if acc < 0.70 || acc > 0.85 {
+		t.Errorf("observation accuracy = %v, want ~0.775", acc)
+	}
+}
+
+func TestNeighborsCornersAndEdges(t *testing.T) {
+	g := Generate(randgen.New(2), Config{Rows: 3, Cols: 3, Labels: 2, Beta: 1, NoiseP: 0.1})
+	if n := g.Neighbors(0, 0, nil); len(n) != 2 {
+		t.Errorf("corner has %d neighbors", len(n))
+	}
+	if n := g.Neighbors(0, 1, nil); len(n) != 3 {
+		t.Errorf("edge has %d neighbors", len(n))
+	}
+	if n := g.Neighbors(1, 1, nil); len(n) != 4 {
+		t.Errorf("center has %d neighbors", len(n))
+	}
+}
+
+func TestSampleLabelFollowsNeighbors(t *testing.T) {
+	rng := randgen.New(3)
+	g := Generate(rng, Config{Rows: 4, Cols: 4, Labels: 3, Beta: 10, NoiseP: 0.99})
+	// With near-uninformative observations and huge coupling, the drawn
+	// label should match unanimous neighbors.
+	for i := 0; i < 50; i++ {
+		if l := g.SampleLabel(rng, 5, []int{2, 2, 2, 2}); l != 2 {
+			t.Fatalf("label = %d, want 2 with unanimous neighbors", l)
+		}
+	}
+}
+
+func TestSweepsImproveAccuracy(t *testing.T) {
+	rng := randgen.New(4)
+	g := Generate(rng, testCfg())
+	before := g.Accuracy()
+	for iter := 0; iter < 10; iter++ {
+		g.SweepParity(rng, 0)
+		g.SweepParity(rng, 1)
+	}
+	after := g.Accuracy()
+	if after <= before+0.05 {
+		t.Errorf("denoising barely helped: %v -> %v", before, after)
+	}
+	if after < 0.9 {
+		t.Errorf("final accuracy %v too low", after)
+	}
+}
+
+func TestLabelFlopsPositive(t *testing.T) {
+	if LabelFlops(5) <= 0 {
+		t.Error("LabelFlops must be positive")
+	}
+}

@@ -1,0 +1,94 @@
+package relational
+
+import "fmt"
+
+// Chain drives a SimSQL-style MCMC simulation expressed as mutually
+// recursive random table definitions: table[0] comes from an
+// initialization plan, and table[i] is defined by a plan over the
+// version-(i-1) tables. Step executes one full sweep, building every
+// update plan against the previous iteration's tables and swapping the
+// new versions in together.
+type Chain struct {
+	eng    *Engine
+	tables map[string]*Table
+	iter   int
+}
+
+// NewChain creates an empty chain on the engine.
+func NewChain(e *Engine) *Chain {
+	return &Chain{eng: e, tables: make(map[string]*Table)}
+}
+
+// Engine returns the chain's engine.
+func (c *Chain) Engine() *Engine { return c.eng }
+
+// Iteration returns the number of completed Step calls.
+func (c *Chain) Iteration() int { return c.iter }
+
+// SetBase registers a deterministic (non-versioned) table, such as the
+// data relation.
+func (c *Chain) SetBase(name string, t *Table) { c.tables[name] = t }
+
+// Init materializes version 0 of a random table.
+func (c *Chain) Init(name string, p Plan) error {
+	t, err := c.eng.Run(name, p)
+	if err != nil {
+		return fmt.Errorf("relational: init %s: %w", name, err)
+	}
+	c.tables[name] = t
+	return nil
+}
+
+// Table returns the current version of a table. It panics if the name was
+// never initialized, which is a programming error in the simulation.
+func (c *Chain) Table(name string) *Table {
+	t, ok := c.tables[name]
+	if !ok {
+		panic(fmt.Sprintf("relational: chain table %q not defined", name))
+	}
+	return t
+}
+
+// Update is one recursive table definition: Build constructs the
+// version-i plan from the version-(i-1) tables.
+type Update struct {
+	Name  string
+	Build func(prev func(string) *Table) Plan
+}
+
+// Step executes one sweep: every update's plan is built against the
+// previous versions, executed in order, and the results replace the old
+// versions together at the end (so updates within a sweep read iteration
+// i-1 state, matching the paper's simulations which pass cmem[i-1] etc.).
+func (c *Chain) Step(updates []Update) error {
+	prev := func(name string) *Table { return c.Table(name) }
+	next := make(map[string]*Table, len(updates))
+	for _, u := range updates {
+		t, err := c.eng.Run(u.Name, u.Build(prev))
+		if err != nil {
+			return fmt.Errorf("relational: step %d table %s: %w", c.iter+1, u.Name, err)
+		}
+		next[u.Name] = t
+	}
+	for name, t := range next {
+		c.tables[name] = t
+	}
+	c.iter++
+	return nil
+}
+
+// StepSequential is like Step but each update immediately replaces the
+// table it defines, so later updates in the same sweep observe it (the
+// Gibbs "use the freshest value" ordering some of the paper's codes use).
+func (c *Chain) StepSequential(updates []Update) error {
+	prev := func(name string) *Table { return c.Table(name) }
+	for _, u := range updates {
+		t, err := c.eng.Run(u.Name, u.Build(prev))
+		if err != nil {
+			return fmt.Errorf("relational: step %d table %s: %w", c.iter+1, u.Name, err)
+		}
+		c.tables[u.Name] = t
+	}
+	c.iter++
+	return nil
+}

@@ -1,0 +1,313 @@
+// Package sim provides the simulated compute-cluster substrate on which the
+// four platform engines (dataflow, relational, gas, bsp) execute.
+//
+// The paper's experiments ran on Amazon EC2 m2.4xlarge clusters (8 virtual
+// cores, 68 GB RAM per machine) of 5, 20 and 100 machines — hardware we do
+// not have. Per the reproduction's substitution rule, this package models
+// that hardware: a Cluster has N Machines, each with a core count, a
+// byte-accounted memory budget, and a shared network with latency and
+// bandwidth. Engines run *real* Go computation (the actual Gibbs sampling
+// math on scale-reduced data) while charging *modelled* costs — per-tuple
+// overheads, linear-algebra flops under a language Profile, shuffle bytes,
+// and framework job-launch latencies — to a deterministic virtual clock.
+//
+// # Scale
+//
+// A Config.Scale of S means each simulated machine holds 1/S of the paper's
+// per-machine data volume in real memory, and every data-proportional
+// charge (tuples, flops, bytes shipped, bytes allocated) is multiplied by S
+// before hitting the virtual clock and the memory accountant.
+// Model-proportional state (the K Gaussians, the regression vector, the
+// topic-word matrix) is charged unscaled — it is small in the paper and
+// small here. Virtual times are therefore directly comparable to the
+// paper's HH:MM:SS tables while real wall time stays laptop-sized.
+//
+// # Failure
+//
+// Machine.Alloc returns an *OOMError when a simulated allocation exceeds
+// the per-machine budget; engines abort the current phase and surface the
+// error, which the benchmark harness records as the paper's "Fail" cells.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"mlbench/internal/randgen"
+)
+
+// logf is ln(n) for a positive machine count.
+func logf(n int) float64 { return math.Log(float64(n)) }
+
+// Network describes the simulated interconnect.
+type Network struct {
+	LatencySec  float64 // per communication round
+	BytesPerSec float64 // point-to-point bandwidth per machine
+}
+
+// Config parameterizes a simulated cluster.
+type Config struct {
+	Machines int     // number of machines
+	Cores    int     // cores per machine (EC2 m2.4xlarge: 8)
+	MemBytes int64   // simulated RAM per machine (m2.4xlarge: 68 GB)
+	Scale    float64 // data scale-down factor S (>= 1)
+	Net      Network
+	Cost     CostModel
+	Seed     uint64
+	Trace    bool // record per-phase statistics in Cluster.Trace
+}
+
+// DefaultConfig returns the paper's experimental platform: m2.4xlarge
+// machines (8 cores, 68 GB) with the default cost model and a 1000x data
+// scale-down.
+func DefaultConfig(machines int) Config {
+	return Config{
+		Machines: machines,
+		Cores:    8,
+		MemBytes: 68 << 30,
+		Scale:    1000,
+		Net:      Network{LatencySec: 0.5e-3, BytesPerSec: 100e6},
+		Cost:     DefaultCostModel(),
+		Seed:     1,
+	}
+}
+
+// OOMError reports a simulated out-of-memory condition on one machine.
+type OOMError struct {
+	Machine   int
+	Requested int64
+	Used      int64
+	Cap       int64
+	Context   string
+}
+
+func (e *OOMError) Error() string {
+	return fmt.Sprintf("sim: machine %d out of memory: requested %d bytes with %d/%d used (%s)",
+		e.Machine, e.Requested, e.Used, e.Cap, e.Context)
+}
+
+// IsOOM reports whether err is (or wraps) a simulated out-of-memory error.
+func IsOOM(err error) bool {
+	var oom *OOMError
+	return errors.As(err, &oom)
+}
+
+// Machine is one simulated node: a memory accountant plus a deterministic
+// RNG substream.
+type Machine struct {
+	id      int
+	cluster *Cluster
+	memUsed int64
+	rng     *randgen.RNG
+	// Per-phase communication accumulators (simulated bytes).
+	phaseSent float64
+	phaseRecv float64
+}
+
+// ID returns the machine's index in [0, Machines).
+func (m *Machine) ID() int { return m.id }
+
+// RNG returns this machine's deterministic random stream.
+func (m *Machine) RNG() *randgen.RNG { return m.rng }
+
+// MemUsed returns the current simulated allocation in bytes.
+func (m *Machine) MemUsed() int64 { return m.memUsed }
+
+// MemCap returns the machine's simulated memory capacity in bytes.
+func (m *Machine) MemCap() int64 { return m.cluster.cfg.MemBytes }
+
+// Alloc charges bytes of simulated memory, returning an *OOMError if the
+// budget would be exceeded. ctx names the allocation for diagnostics.
+func (m *Machine) Alloc(bytes int64, ctx string) error {
+	if bytes < 0 {
+		panic("sim: negative allocation")
+	}
+	if m.memUsed+bytes > m.cluster.cfg.MemBytes {
+		return &OOMError{Machine: m.id, Requested: bytes, Used: m.memUsed, Cap: m.cluster.cfg.MemBytes, Context: ctx}
+	}
+	m.memUsed += bytes
+	return nil
+}
+
+// Free releases a previous simulated allocation.
+func (m *Machine) Free(bytes int64) {
+	if bytes < 0 {
+		panic("sim: negative free")
+	}
+	m.memUsed -= bytes
+	if m.memUsed < 0 {
+		m.memUsed = 0
+	}
+}
+
+// PhaseStat records the outcome of one executed phase when tracing is on.
+type PhaseStat struct {
+	Name       string
+	Seconds    float64 // virtual duration of the phase
+	ComputeSec float64 // max per-machine compute component
+	CommSec    float64 // max per-machine communication component
+	Tasks      int
+}
+
+// Cluster is a simulated cluster with a virtual clock.
+type Cluster struct {
+	cfg      Config
+	machines []*Machine
+	clock    float64
+	Trace    []PhaseStat
+}
+
+// New constructs a cluster. Zero-valued fields of cfg get sensible
+// defaults (8 cores, 68 GB, scale 1, default cost model and network).
+func New(cfg Config) *Cluster {
+	if cfg.Machines <= 0 {
+		panic("sim: cluster needs at least one machine")
+	}
+	if cfg.Cores <= 0 {
+		cfg.Cores = 8
+	}
+	if cfg.MemBytes <= 0 {
+		cfg.MemBytes = 68 << 30
+	}
+	if cfg.Scale <= 0 {
+		cfg.Scale = 1
+	}
+	if cfg.Net.BytesPerSec <= 0 {
+		cfg.Net = Network{LatencySec: 0.5e-3, BytesPerSec: 100e6}
+	}
+	if cfg.Cost == (CostModel{}) {
+		cfg.Cost = DefaultCostModel()
+	}
+	c := &Cluster{cfg: cfg}
+	root := randgen.New(cfg.Seed)
+	c.machines = make([]*Machine, cfg.Machines)
+	for i := range c.machines {
+		c.machines[i] = &Machine{id: i, cluster: c, rng: root.Split(uint64(i))}
+	}
+	return c
+}
+
+// Config returns the cluster configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// NumMachines returns the machine count.
+func (c *Cluster) NumMachines() int { return c.cfg.Machines }
+
+// Machine returns machine i.
+func (c *Cluster) Machine(i int) *Machine { return c.machines[i] }
+
+// Scale returns the data scale-down factor S.
+func (c *Cluster) Scale() float64 { return c.cfg.Scale }
+
+// Now returns the virtual clock in seconds.
+func (c *Cluster) Now() float64 { return c.clock }
+
+// Advance moves the virtual clock forward, e.g. for a framework job-launch
+// overhead that is not tied to any one machine.
+func (c *Cluster) Advance(sec float64) {
+	if sec < 0 {
+		panic("sim: negative clock advance")
+	}
+	c.clock += sec
+}
+
+// Task is one unit of work in a phase, pinned to a machine.
+type Task struct {
+	Machine int
+	Run     func(*Meter) error
+}
+
+// RunPhase executes a barrier-synchronized phase: all tasks run (grouped by
+// machine, deterministically in submission order), their charged costs are
+// converted to per-machine times, and the virtual clock advances by the
+// slowest machine plus coordination overhead. Per-tuple and flop charges
+// are treated as data-parallel across the machine's cores; serial charges
+// are not divided.
+//
+// The first task error aborts the phase and is returned; the clock still
+// advances by the work completed so far, mimicking a failed job that dies
+// mid-flight.
+func (c *Cluster) RunPhase(name string, tasks []Task) error {
+	perMachinePar := make([]float64, c.cfg.Machines)
+	perMachineSer := make([]float64, c.cfg.Machines)
+	taskCount := make([]int, c.cfg.Machines)
+	for _, m := range c.machines {
+		m.phaseSent, m.phaseRecv = 0, 0
+	}
+
+	var firstErr error
+	for _, t := range tasks {
+		if t.Machine < 0 || t.Machine >= c.cfg.Machines {
+			panic(fmt.Sprintf("sim: task assigned to machine %d of %d", t.Machine, c.cfg.Machines))
+		}
+		meter := &Meter{machine: c.machines[t.Machine], cluster: c}
+		err := t.Run(meter)
+		perMachinePar[t.Machine] += meter.parSec
+		perMachineSer[t.Machine] += meter.serSec
+		taskCount[t.Machine]++
+		if err != nil {
+			firstErr = err
+			break
+		}
+	}
+
+	var worst, worstCompute, worstComm float64
+	active := 0
+	for i, m := range c.machines {
+		if taskCount[i] == 0 && m.phaseSent == 0 && m.phaseRecv == 0 {
+			continue
+		}
+		active++
+		compute := perMachinePar[i]/float64(c.cfg.Cores) + perMachineSer[i]
+		comm := 0.0
+		if m.phaseSent > 0 || m.phaseRecv > 0 {
+			bytes := m.phaseSent
+			if m.phaseRecv > bytes {
+				bytes = m.phaseRecv
+			}
+			comm = c.cfg.Net.LatencySec + bytes/c.cfg.Net.BytesPerSec
+		}
+		if total := compute + comm; total > worst {
+			worst, worstCompute, worstComm = total, compute, comm
+		}
+	}
+	straggle := 1.0
+	if active > 1 && c.cfg.Cost.StragglerLogFactor > 0 {
+		straggle += c.cfg.Cost.StragglerLogFactor * logf(active)
+	}
+	dur := worst*straggle + c.cfg.Cost.PhaseBase + c.cfg.Cost.BarrierPerMachine*float64(active)
+	c.clock += dur
+	if c.cfg.Trace {
+		c.Trace = append(c.Trace, PhaseStat{Name: name, Seconds: dur, ComputeSec: worstCompute, CommSec: worstComm, Tasks: len(tasks)})
+	}
+	return firstErr
+}
+
+// RunPhaseF runs a phase with exactly one task per machine, built by fn.
+func (c *Cluster) RunPhaseF(name string, fn func(machine int, m *Meter) error) error {
+	tasks := make([]Task, c.cfg.Machines)
+	for i := range tasks {
+		i := i
+		tasks[i] = Task{Machine: i, Run: func(m *Meter) error { return fn(i, m) }}
+	}
+	return c.RunPhase(name, tasks)
+}
+
+// RunDriver runs driver-side (single-machine, serial) work on machine 0,
+// advancing the clock by the serial time plus any communication.
+func (c *Cluster) RunDriver(name string, fn func(*Meter) error) error {
+	return c.RunPhase(name, []Task{{Machine: 0, Run: func(m *Meter) error {
+		m.Serial()
+		return fn(m)
+	}}})
+}
+
+// TotalMemUsed sums simulated allocations across all machines (for tests).
+func (c *Cluster) TotalMemUsed() int64 {
+	var s int64
+	for _, m := range c.machines {
+		s += m.memUsed
+	}
+	return s
+}

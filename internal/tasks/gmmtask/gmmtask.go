@@ -1,0 +1,84 @@
+// Package gmmtask implements the paper's Section 5 benchmark task — the
+// Gaussian mixture model Gibbs sampler — on all four platform engines,
+// in both the "initial" per-point formulations and the super-vertex
+// formulations of Figure 1.
+package gmmtask
+
+import (
+	"mlbench/internal/linalg"
+	"mlbench/internal/randgen"
+	"mlbench/internal/sim"
+	"mlbench/internal/tasks/task"
+	"mlbench/internal/workload"
+)
+
+// Config parameterizes one GMM benchmark run. Counts are at paper scale;
+// the cluster's Scale factor determines how many real points exist.
+type Config struct {
+	K                int // mixture components (paper: 10)
+	D                int // dimensions (paper: 10 or 100)
+	PointsPerMachine int // paper: 10M (10-d) or 1M (100-d)
+	Iterations       int
+	SuperVertex      bool
+	SVPerMachine     int // super vertices per machine (default 80)
+	Seed             uint64
+	// DisableCombiner turns off Giraph's message combiner (the Section
+	// 5.4 ablation: "Giraph's combiner functionality is used to reduce
+	// communication and increase load balancing during aggregation").
+	DisableCombiner bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.K == 0 {
+		c.K = 10
+	}
+	if c.D == 0 {
+		c.D = 10
+	}
+	if c.PointsPerMachine == 0 {
+		c.PointsPerMachine = 10_000_000
+	}
+	if c.Iterations == 0 {
+		c.Iterations = 3
+	}
+	if c.SVPerMachine == 0 {
+		c.SVPerMachine = 80
+	}
+	if c.Seed == 0 {
+		c.Seed = 17
+	}
+	return c
+}
+
+// genMachineData deterministically generates one machine's real points.
+// All platforms share the same data for a given cluster seed, so learned
+// models are comparable across engines.
+func genMachineData(cl *sim.Cluster, cfg Config, machine int) []linalg.Vec {
+	n := task.RealCount(cl, cfg.PointsPerMachine)
+	root := randgen.New(cfg.Seed ^ cl.Config().Seed)
+	mu := workload.PlantedMeans(root, cfg.K, cfg.D, 8) // shared planted mixture
+	rng := root.Split(uint64(machine))
+	return workload.GenGMMAt(rng, mu, n).Points
+}
+
+// pointBytes is the simulated in-memory size of one data point under a
+// language runtime: payload plus per-object representation overhead
+// (Python tuples of floats are far heavier than C++ structs).
+func pointBytes(p sim.Profile, d int) int64 {
+	switch p.Name {
+	case "python":
+		return int64(8*d) + 112
+	case "java":
+		return int64(8*d) + 48
+	default:
+		return int64(8*d) + 16
+	}
+}
+
+// statBytes is the wire size of one per-cluster sufficient-statistics
+// record (count, sum vector, raw second moment).
+func statBytes(d int) int64 { return int64(8 * (1 + d + d*d)) }
+
+// modelMsgBytes is the wire size of one cluster's parameters
+// (mu, Sigma, pi) — the paper's broadcast triple.
+func modelMsgBytes(d int) int64 { return int64(8 * (1 + d + d*d)) }

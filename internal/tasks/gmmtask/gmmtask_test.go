@@ -1,0 +1,291 @@
+package gmmtask
+
+import (
+	"math"
+	"testing"
+
+	"mlbench/internal/sim"
+	"mlbench/internal/tasks/task"
+)
+
+// smallCluster returns a 2-machine cluster scaled so each machine holds a
+// few hundred real points.
+func smallCluster(machines int) *sim.Cluster {
+	cfg := sim.DefaultConfig(machines)
+	cfg.Scale = 1000
+	return sim.New(cfg)
+}
+
+func smallConfig() Config {
+	return Config{K: 3, D: 2, PointsPerMachine: 400_000, Iterations: 4, Seed: 99}
+}
+
+// checkResult verifies a run produced sane timings and a model that fits
+// the data far better than chance (planted separated clusters give a
+// per-point log-likelihood well above a mismatched model's).
+func checkResult(t *testing.T, res *task.Result, err error, iters int) {
+	t.Helper()
+	if err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	if len(res.IterSecs) != iters {
+		t.Fatalf("iterations recorded = %d, want %d", len(res.IterSecs), iters)
+	}
+	if res.InitSec <= 0 || res.AvgIterSec() <= 0 {
+		t.Errorf("timings not positive: init=%v iter=%v", res.InitSec, res.AvgIterSec())
+	}
+	ll, ok := res.Metrics["loglike"]
+	if !ok {
+		t.Fatal("no loglike metric recorded")
+	}
+	// Separated 2-d clusters: a learned model should beat -12 per point
+	// comfortably (a random far-off model is below -100).
+	if ll < -12 {
+		t.Errorf("per-point loglike = %v; model did not learn", ll)
+	}
+}
+
+func TestRunSparkPythonLearns(t *testing.T) {
+	res, err := RunSpark(smallCluster(2), smallConfig(), sim.ProfilePython)
+	checkResult(t, res, err, 4)
+}
+
+func TestRunSparkJavaLearns(t *testing.T) {
+	res, err := RunSpark(smallCluster(2), smallConfig(), sim.ProfileJava)
+	checkResult(t, res, err, 4)
+}
+
+func TestRunSparkSuperVertex(t *testing.T) {
+	cfg := smallConfig()
+	cfg.SuperVertex = true
+	res, err := RunSpark(smallCluster(2), cfg, sim.ProfilePython)
+	checkResult(t, res, err, 4)
+}
+
+func TestSparkJavaFasterAtLowDim(t *testing.T) {
+	// Figure 1(b): at 10 dimensions Spark-Java takes about half the
+	// Python time.
+	cfg := Config{K: 10, D: 10, PointsPerMachine: 2_000_000, Iterations: 2, Seed: 5}
+	py, err := RunSpark(smallCluster(2), cfg, sim.ProfilePython)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jv, err := RunSpark(smallCluster(2), cfg, sim.ProfileJava)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jv.AvgIterSec() >= py.AvgIterSec() {
+		t.Errorf("Java (%v) should beat Python (%v) at 10 dims", jv.AvgIterSec(), py.AvgIterSec())
+	}
+}
+
+func TestSparkJavaSlowerAtHighDim(t *testing.T) {
+	// Figure 1(b): at 100 dimensions Java (Mallet) is several times
+	// slower than Python (NumPy).
+	cl1 := smallCluster(2)
+	cl2 := smallCluster(2)
+	cfg := Config{K: 5, D: 100, PointsPerMachine: 200_000, Iterations: 1, Seed: 5}
+	py, err := RunSpark(cl1, cfg, sim.ProfilePython)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jv, err := RunSpark(cl2, cfg, sim.ProfileJava)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jv.AvgIterSec() <= 2*py.AvgIterSec() {
+		t.Errorf("Java (%v) should be much slower than Python (%v) at 100 dims", jv.AvgIterSec(), py.AvgIterSec())
+	}
+}
+
+func TestRunSimSQLLearns(t *testing.T) {
+	res, err := RunSimSQL(smallCluster(2), smallConfig())
+	checkResult(t, res, err, 4)
+}
+
+func TestRunSimSQLSuperVertex(t *testing.T) {
+	cfg := smallConfig()
+	cfg.SuperVertex = true
+	res, err := RunSimSQL(smallCluster(2), cfg)
+	checkResult(t, res, err, 4)
+}
+
+func TestSimSQLSuperVertexMuchFaster(t *testing.T) {
+	// Figure 1(c): the SimSQL super-vertex code is several times faster
+	// than the tuple-per-dimension formulation.
+	cfg := Config{K: 5, D: 10, PointsPerMachine: 1_000_000, Iterations: 2, Seed: 5}
+	plain, err := RunSimSQL(smallCluster(2), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.SuperVertex = true
+	sv, err := RunSimSQL(smallCluster(2), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sv.AvgIterSec() >= plain.AvgIterSec()/2 {
+		t.Errorf("super vertex (%v) should be far faster than plain (%v)", sv.AvgIterSec(), plain.AvgIterSec())
+	}
+}
+
+func TestGraphLabPerPointFailsOOM(t *testing.T) {
+	// Figure 1(a): GraphLab's per-point GMM fails at every tested size.
+	cfg := Config{K: 10, D: 10, PointsPerMachine: 10_000_000, Iterations: 1, Seed: 5}
+	cl := sim.New(func() sim.Config {
+		c := sim.DefaultConfig(2)
+		c.Scale = 10000
+		return c
+	}())
+	_, err := RunGraphLab(cl, cfg)
+	if !sim.IsOOM(err) {
+		t.Fatalf("expected OOM, got %v", err)
+	}
+}
+
+func TestGraphLabSuperVertexLearns(t *testing.T) {
+	cfg := smallConfig()
+	cfg.SuperVertex = true
+	cfg.SVPerMachine = 8
+	res, err := RunGraphLab(smallCluster(2), cfg)
+	checkResult(t, res, err, 4)
+}
+
+func TestGraphLabBootClampNote(t *testing.T) {
+	cfg := smallConfig()
+	cfg.SuperVertex = true
+	cfg.SVPerMachine = 2
+	cfg.Iterations = 1
+	cl := func() *sim.Cluster {
+		c := sim.DefaultConfig(100)
+		c.Scale = 200000
+		return sim.New(c)
+	}()
+	res, err := RunGraphLab(cl, cfg)
+	if err != nil {
+		t.Fatalf("super-vertex at 100 machines should run: %v", err)
+	}
+	if len(res.Notes) == 0 {
+		t.Error("expected a boot-clamp note at 100 machines")
+	}
+}
+
+func TestRunGiraphLearns(t *testing.T) {
+	res, err := RunGiraph(smallCluster(2), smallConfig())
+	checkResult(t, res, err, 4)
+}
+
+func TestRunGiraphSuperVertexLearns(t *testing.T) {
+	cfg := smallConfig()
+	cfg.SuperVertex = true
+	cfg.SVPerMachine = 8
+	res, err := RunGiraph(smallCluster(2), cfg)
+	checkResult(t, res, err, 4)
+}
+
+func TestGiraphPerPointFailsAtManyMachines(t *testing.T) {
+	// Figure 1(a): Giraph's per-point 10-d GMM runs at 5 and 20 machines
+	// but fails at 100.
+	run := func(machines int) error {
+		c := sim.DefaultConfig(machines)
+		c.Scale = 100000
+		cfg := Config{K: 10, D: 10, PointsPerMachine: 10_000_000, Iterations: 1, Seed: 5}
+		_, err := RunGiraph(sim.New(c), cfg)
+		return err
+	}
+	if err := run(5); err != nil {
+		t.Errorf("5 machines should run: %v", err)
+	}
+	if err := run(100); !sim.IsOOM(err) {
+		t.Errorf("100 machines should OOM, got %v", err)
+	}
+}
+
+func TestGiraphPerPointFailsAtHighDim(t *testing.T) {
+	// Figure 1(a): Giraph fails on the 100-dimensional problem even at 5
+	// machines.
+	c := sim.DefaultConfig(5)
+	c.Scale = 10000
+	cfg := Config{K: 10, D: 100, PointsPerMachine: 1_000_000, Iterations: 1, Seed: 5}
+	if _, err := RunGiraph(sim.New(c), cfg); !sim.IsOOM(err) {
+		t.Errorf("100-d per-point Giraph should OOM, got %v", err)
+	}
+}
+
+func TestPlatformsAgreeOnQuality(t *testing.T) {
+	// All platforms run the same chain on the same data; their final
+	// per-point log-likelihoods should be close.
+	cfg := smallConfig()
+	cfg.Iterations = 6
+	var lls []float64
+	if res, err := RunSpark(smallCluster(2), cfg, sim.ProfilePython); err == nil {
+		lls = append(lls, res.Metrics["loglike"])
+	} else {
+		t.Fatal(err)
+	}
+	if res, err := RunSimSQL(smallCluster(2), cfg); err == nil {
+		lls = append(lls, res.Metrics["loglike"])
+	} else {
+		t.Fatal(err)
+	}
+	svCfg := cfg
+	svCfg.SuperVertex = true
+	svCfg.SVPerMachine = 8
+	if res, err := RunGraphLab(smallCluster(2), svCfg); err == nil {
+		lls = append(lls, res.Metrics["loglike"])
+	} else {
+		t.Fatal(err)
+	}
+	if res, err := RunGiraph(smallCluster(2), cfg); err == nil {
+		lls = append(lls, res.Metrics["loglike"])
+	} else {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(lls); i++ {
+		if math.Abs(lls[i]-lls[0]) > 3 {
+			t.Errorf("platform %d loglike %v far from %v", i, lls[i], lls[0])
+		}
+	}
+}
+
+func TestPointBytesOrdering(t *testing.T) {
+	if !(pointBytes(sim.ProfileCPP, 10) < pointBytes(sim.ProfileJava, 10) &&
+		pointBytes(sim.ProfileJava, 10) < pointBytes(sim.ProfilePython, 10)) {
+		t.Error("object overhead ordering wrong")
+	}
+}
+
+func TestDeterministicVirtualTimes(t *testing.T) {
+	// The whole simulation must be reproducible: same seed, same virtual
+	// clock to the bit.
+	run := func() (float64, float64, float64) {
+		res, err := RunSpark(smallCluster(2), smallConfig(), sim.ProfilePython)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.InitSec, res.AvgIterSec(), res.Metrics["loglike"]
+	}
+	i1, t1, l1 := run()
+	i2, t2, l2 := run()
+	if i1 != i2 || t1 != t2 || l1 != l2 {
+		t.Errorf("nondeterministic run: (%v,%v,%v) vs (%v,%v,%v)", i1, t1, l1, i2, t2, l2)
+	}
+}
+
+func TestCombinerAblation(t *testing.T) {
+	// Disabling the combiner must make the Giraph GMM slower (more
+	// buffered and shipped statistics traffic).
+	cfg := Config{K: 5, D: 10, PointsPerMachine: 1_000_000, Iterations: 1, Seed: 5}
+	with, err := RunGiraph(smallCluster(2), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.DisableCombiner = true
+	without, err := RunGiraph(smallCluster(2), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if without.AvgIterSec() <= with.AvgIterSec() {
+		t.Errorf("no-combiner (%v) should be slower than combiner (%v)",
+			without.AvgIterSec(), with.AvgIterSec())
+	}
+}

@@ -1,0 +1,208 @@
+package gmmtask
+
+import (
+	"fmt"
+
+	"mlbench/internal/dataflow"
+	"mlbench/internal/linalg"
+	"mlbench/internal/models/gmm"
+	"mlbench/internal/randgen"
+	"mlbench/internal/sim"
+	"mlbench/internal/tasks/task"
+)
+
+// stat is the per-cluster map output of the paper's sample_mem step:
+// (1, x, x x^T), aggregated by reduceByKey.
+type stat struct {
+	n   float64
+	sum linalg.Vec
+	sq  *linalg.Mat
+}
+
+func addStat(a, b stat) stat {
+	a.n += b.n
+	b.sum.AddTo(a.sum)
+	a.sq.AddInPlace(b.sq)
+	return a
+}
+
+// RunSpark implements the paper's Section 5.1 Spark GMM: a cached data
+// RDD, empirical hyperparameters, and a per-iteration pipeline of
+// map+reduceByKey (membership sampling and statistics aggregation),
+// a model-update job and a counts job. profile selects Spark-Python or
+// Spark-Java (Figure 1(b)). With cfg.SuperVertex, statistics are
+// pre-aggregated per partition via mapPartitions (Figure 1(c)) — which,
+// as the paper observes, barely helps since the interpreter still touches
+// every point.
+func RunSpark(cl *sim.Cluster, cfg Config, profile sim.Profile) (*task.Result, error) {
+	cfg = cfg.withDefaults()
+	res := &task.Result{}
+	ctx := dataflow.NewContext(cl, profile)
+	sw := task.NewStopwatch(cl)
+
+	parts := cl.NumMachines() * cl.Config().Cores
+	perPart := make([][]linalg.Vec, parts)
+	for machine := 0; machine < cl.NumMachines(); machine++ {
+		pts := genMachineData(cl, cfg, machine)
+		// Split the machine's points over its core-partitions.
+		local := 0
+		for p := machine; p < parts; p += cl.NumMachines() {
+			local++
+			_ = p
+		}
+		i := 0
+		for p := machine; p < parts; p += cl.NumMachines() {
+			lo := i * len(pts) / local
+			hi := (i + 1) * len(pts) / local
+			perPart[p] = pts[lo:hi]
+			i++
+		}
+	}
+	ptBytes := pointBytes(profile, cfg.D)
+	data := dataflow.Generate(ctx, parts, func(linalg.Vec) int64 { return ptBytes },
+		func(p int, r *randgen.RNG) []linalg.Vec { return perPart[p] }).SetName("data").Cache()
+
+	// Hyperparameters: count, mean, and diagonal variance of the data.
+	type moments struct {
+		n    float64
+		sum  linalg.Vec
+		sumq linalg.Vec
+	}
+	mom, err := dataflow.Aggregate(data,
+		func() moments { return moments{sum: linalg.NewVec(cfg.D), sumq: linalg.NewVec(cfg.D)} },
+		func(m *sim.Meter, acc moments, x linalg.Vec) moments {
+			m.ChargeLinalg(2, float64(2*cfg.D), cfg.D)
+			acc.n++
+			for i, v := range x {
+				acc.sum[i] += v
+				acc.sumq[i] += v * v
+			}
+			return acc
+		},
+		func(m *sim.Meter, a, b moments) moments {
+			a.n += b.n
+			b.sum.AddTo(a.sum)
+			b.sumq.AddTo(a.sumq)
+			return a
+		},
+	)
+	if err != nil {
+		return res, fmt.Errorf("gmm spark: hyperparameters: %w", err)
+	}
+	mean := mom.sum.Scale(1 / mom.n)
+	variance := make(linalg.Vec, cfg.D)
+	for i := range variance {
+		variance[i] = mom.sumq[i]/mom.n - mean[i]*mean[i]
+	}
+	h := gmm.HyperFromMoments(cfg.K, mean, variance)
+
+	driverRNG := randgen.New(cfg.Seed ^ 0x5a11)
+	var params *gmm.Params
+	err = cl.RunDriver("gmm-init", func(m *sim.Meter) error {
+		m.SetProfile(profile)
+		m.ChargeLinalgAbs(cfg.K, gmm.UpdateFlops(1, cfg.D), cfg.D)
+		var err error
+		params, err = gmm.Init(driverRNG, h)
+		return err
+	})
+	if err != nil {
+		return res, fmt.Errorf("gmm spark: init: %w", err)
+	}
+	res.InitSec = sw.Lap()
+
+	sBytes := statBytes(cfg.D) + 32
+	sizer := func(dataflow.Pair[int, stat]) int64 { return sBytes }
+	samplePoint := func(m *sim.Meter, x linalg.Vec) dataflow.Pair[int, stat] {
+		// One library call per mixture component (the density
+		// evaluations), plus the outer product.
+		m.ChargeLinalg(cfg.K, gmm.MembershipFlops(cfg.K, cfg.D)/float64(cfg.K), cfg.D)
+		m.ChargeLinalg(1, float64(cfg.D*cfg.D), cfg.D)
+		k := params.SampleMembership(m.RNG(), x)
+		sq := linalg.NewMat(cfg.D, cfg.D)
+		sq.AddOuter(1, x, x)
+		return dataflow.Pair[int, stat]{K: k, V: stat{n: 1, sum: x.Clone(), sq: sq}}
+	}
+	combine := func(m *sim.Meter, a, b stat) stat {
+		m.ChargeLinalg(1, float64(cfg.D*cfg.D+cfg.D), cfg.D)
+		return addStat(a, b)
+	}
+
+	for iter := 0; iter < cfg.Iterations; iter++ {
+		// Task closures serialize the model to every executor.
+		if err := ctx.Broadcast(params.Bytes(), "gmm model"); err != nil {
+			return res, fmt.Errorf("gmm spark: broadcast: %w", err)
+		}
+
+		var mapped *dataflow.RDD[dataflow.Pair[int, stat]]
+		if cfg.SuperVertex {
+			// "Super vertex" Spark: pre-aggregate per partition in user
+			// code; the interpreter still loops over every point.
+			mapped = dataflow.MapPartitions(data, sizer, func(m *sim.Meter, part []linalg.Vec) []dataflow.Pair[int, stat] {
+				local := make([]*stat, cfg.K)
+				for _, x := range part {
+					kv := samplePoint(m, x)
+					if local[kv.K] == nil {
+						s := kv.V
+						local[kv.K] = &s
+					} else {
+						*local[kv.K] = addStat(*local[kv.K], kv.V)
+					}
+				}
+				var out []dataflow.Pair[int, stat]
+				for k, s := range local {
+					if s != nil {
+						out = append(out, dataflow.Pair[int, stat]{K: k, V: *s})
+					}
+				}
+				return out
+			})
+		} else {
+			mapped = dataflow.Map(data, sizer, samplePoint)
+		}
+		agg := dataflow.ReduceByKey(mapped, combine).AsModel().SetName("c_agg")
+		pairs, err := dataflow.CollectPairs(agg)
+		if err != nil {
+			return res, fmt.Errorf("gmm spark: aggregate: %w", err)
+		}
+		// Model update jobs (the paper's map-only job plus the counts
+		// job) run over the tiny aggregated RDD; we fold them into one
+		// driver-side update plus their job-launch overheads.
+		cl.Advance(2 * cl.Config().Cost.SparkJobLaunch)
+		err = cl.RunDriver("gmm-update", func(m *sim.Meter) error {
+			m.SetProfile(profile)
+			m.ChargeLinalgAbs(1, gmm.UpdateFlops(cfg.K, cfg.D), cfg.D)
+			stats := gmm.NewStats(cfg.K, cfg.D)
+			for _, p := range pairs {
+				stats.N[p.K] += p.V.n
+				p.V.sum.AddTo(stats.Sum[p.K])
+				stats.SumSq[p.K].AddInPlace(p.V.sq)
+			}
+			scaleStats(stats, cl.Scale())
+			return gmm.UpdateParams(driverRNG, h, params, stats)
+		})
+		if err != nil {
+			return res, fmt.Errorf("gmm spark: update: %w", err)
+		}
+		ctx.ReleaseBroadcast(params.Bytes())
+		res.IterSecs = append(res.IterSecs, sw.Lap())
+	}
+	recordQuality(cl, cfg, params, res)
+	return res, nil
+}
+
+// scaleStats converts real-data statistics to paper scale so posterior
+// concentration matches the paper's data volumes.
+func scaleStats(s *gmm.Stats, scale float64) {
+	for k := 0; k < s.K; k++ {
+		s.N[k] *= scale
+		s.Sum[k].ScaleInPlace(scale)
+		s.SumSq[k].ScaleInPlace(scale)
+	}
+}
+
+// recordQuality stores the final model log-likelihood over machine 0's
+// real data (a cross-platform comparable diagnostic; not charged).
+func recordQuality(cl *sim.Cluster, cfg Config, params *gmm.Params, res *task.Result) {
+	pts := genMachineData(cl, cfg, 0)
+	res.SetMetric("loglike", params.LogLikelihood(pts)/float64(len(pts)))
+}

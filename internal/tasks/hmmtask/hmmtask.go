@@ -1,0 +1,128 @@
+// Package hmmtask implements the paper's Section 7 benchmark task — the
+// text HMM Gibbs sampler — on all four platform engines, at the three
+// granularities of Figure 3: word-based (every word and hidden state is
+// an element the platform manages), document-based (a document's states
+// are resampled as a group in user code), and super-vertex (documents are
+// blocked per machine).
+package hmmtask
+
+import (
+	"mlbench/internal/models/hmm"
+	"mlbench/internal/randgen"
+	"mlbench/internal/sim"
+	"mlbench/internal/tasks/task"
+	"mlbench/internal/workload"
+)
+
+// Variant selects the granularity of an HMM implementation.
+type Variant int
+
+const (
+	// VariantWord pushes every (word, state) through the platform.
+	VariantWord Variant = iota
+	// VariantDoc resamples a whole document per user-code invocation.
+	VariantDoc
+	// VariantSV blocks many documents into one platform element.
+	VariantSV
+)
+
+// String names the variant as the paper's tables do.
+func (v Variant) String() string {
+	switch v {
+	case VariantWord:
+		return "word-based"
+	case VariantDoc:
+		return "document-based"
+	default:
+		return "super-vertex"
+	}
+}
+
+// Config parameterizes one HMM run at paper scale.
+type Config struct {
+	K              int // hidden states (paper: 20)
+	V              int // dictionary size (paper: 10,000)
+	DocsPerMachine int // paper: 2.5M
+	AvgDocLen      int // paper: ~210
+	Iterations     int
+	Variant        Variant
+	SVPerMachine   int // super vertices per machine (default 50)
+	Seed           uint64
+	// UseArithJoinQuirk makes the word-based SimSQL plan use the
+	// optimizer's cross-product fallback instead of the stored-nextPos
+	// equi-join (the Section 7.2 quirk; used by the ablation bench).
+	UseArithJoinQuirk bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.K == 0 {
+		c.K = 20
+	}
+	if c.V == 0 {
+		c.V = 10_000
+	}
+	if c.DocsPerMachine == 0 {
+		c.DocsPerMachine = 2_500_000
+	}
+	if c.AvgDocLen == 0 {
+		c.AvgDocLen = 210
+	}
+	if c.Iterations == 0 {
+		c.Iterations = 3
+	}
+	if c.SVPerMachine == 0 {
+		c.SVPerMachine = 50
+	}
+	if c.Seed == 0 {
+		c.Seed = 31
+	}
+	return c
+}
+
+// hyper returns the model hyperparameters.
+func (c Config) hyper() hmm.Hyper { return hmm.Hyper{K: c.K, V: c.V, Alpha: 1, Beta: 0.5} }
+
+// genMachineDocs deterministically generates one machine's documents.
+func genMachineDocs(cl *sim.Cluster, cfg Config, machine int) [][]int {
+	n := task.RealCount(cl, cfg.DocsPerMachine)
+	rng := randgen.New(cfg.Seed ^ cl.Config().Seed).Split(uint64(machine))
+	topics := cfg.K / 4
+	if topics < 2 {
+		topics = 2
+	}
+	return workload.GenCorpus(rng, workload.CorpusConfig{
+		Docs: n, Vocab: cfg.V, AvgLen: cfg.AvgDocLen, Topics: topics,
+	})
+}
+
+// wordsIn counts the words of a document set.
+func wordsIn(docs [][]int) int {
+	n := 0
+	for _, d := range docs {
+		n += len(d)
+	}
+	return n
+}
+
+// countsViewBytes is the simulated size of one exported set of f/g/h
+// count statistics: roughly 48 bytes per (id, value) hash-map entry in a
+// C++/Java struct — the paper's "around 10MB of data" per super vertex
+// for K=20, V=10,000.
+func countsViewBytes(k, v int) int64 { return int64(48 * (k*v + k*k + k)) }
+
+// modelBytes is the wire size of the HMM model (Psi, delta, delta0).
+func modelBytes(k, v int) int64 { return int64(8 * (k*v + k*k + k)) }
+
+// recordQuality stores the final joint log-likelihood per word over
+// machine 0's documents with freshly drawn states (diagnostic only).
+func recordQuality(cl *sim.Cluster, cfg Config, m *hmm.Model, states [][]int, docs [][]int, res *task.Result) {
+	var ll float64
+	words := 0
+	for i, doc := range docs {
+		ll += m.LogLikelihood(doc, states[i])
+		words += len(doc)
+	}
+	if words > 0 {
+		res.SetMetric("loglike", ll/float64(words))
+	}
+}

@@ -1,0 +1,184 @@
+package hmmtask
+
+import (
+	"testing"
+
+	"mlbench/internal/sim"
+	"mlbench/internal/tasks/task"
+)
+
+func smallCluster(machines int) *sim.Cluster {
+	cfg := sim.DefaultConfig(machines)
+	cfg.Scale = 1000
+	return sim.New(cfg)
+}
+
+func smallConfig() Config {
+	return Config{K: 4, V: 100, DocsPerMachine: 60_000, AvgDocLen: 40, Iterations: 6, Seed: 13, SVPerMachine: 4}
+}
+
+func checkResult(t *testing.T, res *task.Result, err error, iters int) {
+	t.Helper()
+	if err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	if len(res.IterSecs) != iters {
+		t.Fatalf("iterations = %d, want %d", len(res.IterSecs), iters)
+	}
+	if res.InitSec <= 0 || res.AvgIterSec() <= 0 {
+		t.Errorf("timings not positive: init=%v iter=%v", res.InitSec, res.AvgIterSec())
+	}
+	ll, ok := res.Metrics["loglike"]
+	if !ok {
+		t.Fatal("no loglike metric")
+	}
+	// Uniform-random joint likelihood per word is about
+	// log(1/V) + log(1/K) = -6 - 1.4; a learned model on the skewed
+	// corpus should be far above that.
+	if ll < -6.5 {
+		t.Errorf("per-word loglike = %v; model did not learn", ll)
+	}
+}
+
+func TestSparkDocLearns(t *testing.T) {
+	res, err := RunSpark(smallCluster(2), smallConfig(), VariantDoc)
+	checkResult(t, res, err, 6)
+}
+
+func TestSparkSVLearns(t *testing.T) {
+	res, err := RunSpark(smallCluster(2), smallConfig(), VariantSV)
+	checkResult(t, res, err, 6)
+}
+
+func TestSparkWordSelfJoinFails(t *testing.T) {
+	// Figure 3(a): the word-based Spark HMM dies in the self-join.
+	c := sim.DefaultConfig(5)
+	c.Scale = 100000
+	cfg := Config{K: 20, V: 10000, DocsPerMachine: 2_500_000, AvgDocLen: 210, Iterations: 1, Seed: 13}
+	_, err := RunSpark(sim.New(c), cfg, VariantWord)
+	if !sim.IsOOM(err) {
+		t.Fatalf("expected OOM from self-join, got %v", err)
+	}
+}
+
+func TestSimSQLDocLearns(t *testing.T) {
+	res, err := RunSimSQL(smallCluster(2), smallConfig(), VariantDoc)
+	checkResult(t, res, err, 6)
+}
+
+func TestSimSQLWordLearns(t *testing.T) {
+	res, err := RunSimSQL(smallCluster(2), smallConfig(), VariantWord)
+	checkResult(t, res, err, 6)
+}
+
+func TestSimSQLSVLearns(t *testing.T) {
+	res, err := RunSimSQL(smallCluster(2), smallConfig(), VariantSV)
+	checkResult(t, res, err, 6)
+}
+
+func TestSimSQLWordSlowestDocFasterSVFastest(t *testing.T) {
+	// Figure 3: word-based SimSQL is by far the slowest granularity;
+	// super-vertex is the fastest.
+	cfg := Config{K: 8, V: 1000, DocsPerMachine: 250_000, AvgDocLen: 100, Iterations: 1, Seed: 13}
+	word, err := RunSimSQL(smallCluster(2), cfg, VariantWord)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := RunSimSQL(smallCluster(2), cfg, VariantDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv, err := RunSimSQL(smallCluster(2), cfg, VariantSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(word.AvgIterSec() > doc.AvgIterSec() && doc.AvgIterSec() > sv.AvgIterSec()) {
+		t.Errorf("granularity ordering wrong: word=%v doc=%v sv=%v",
+			word.AvgIterSec(), doc.AvgIterSec(), sv.AvgIterSec())
+	}
+}
+
+func TestArithJoinQuirkSlower(t *testing.T) {
+	// Section 7.2: without the nextPos workaround the adjacency join
+	// runs as a cross product and is drastically slower.
+	cfg := Config{K: 4, V: 100, DocsPerMachine: 20_000, AvgDocLen: 20, Iterations: 1, Seed: 13}
+	normal, err := RunSimSQL(smallCluster(1), cfg, VariantWord)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.UseArithJoinQuirk = true
+	quirk, err := RunSimSQL(smallCluster(1), cfg, VariantWord)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if quirk.AvgIterSec() < 5*normal.AvgIterSec() {
+		t.Errorf("quirk plan (%v) should dwarf the equi-join plan (%v)",
+			quirk.AvgIterSec(), normal.AvgIterSec())
+	}
+}
+
+func TestGiraphDocLearns(t *testing.T) {
+	res, err := RunGiraph(smallCluster(2), smallConfig(), VariantDoc)
+	checkResult(t, res, err, 6)
+}
+
+func TestGiraphSVLearns(t *testing.T) {
+	res, err := RunGiraph(smallCluster(2), smallConfig(), VariantSV)
+	checkResult(t, res, err, 6)
+}
+
+func TestGiraphWordFailsOnLoad(t *testing.T) {
+	// Figure 3(a): word-based Giraph cannot even load 525M word vertices
+	// per machine.
+	c := sim.DefaultConfig(5)
+	c.Scale = 1_000_000
+	cfg := Config{K: 20, V: 10000, DocsPerMachine: 2_500_000, AvgDocLen: 210, Iterations: 1, Seed: 13}
+	if _, err := RunGiraph(sim.New(c), cfg, VariantWord); !sim.IsOOM(err) {
+		t.Fatalf("expected load OOM, got %v", err)
+	}
+}
+
+func TestGraphLabSVLearns(t *testing.T) {
+	res, err := RunGraphLab(smallCluster(2), smallConfig())
+	checkResult(t, res, err, 6)
+}
+
+func TestGraphLabSVFailsAtTwentyMachines(t *testing.T) {
+	// Figure 3(b): GraphLab's super-vertex HMM runs at 5 machines but
+	// fails at 20 and beyond.
+	run := func(machines int) error {
+		c := sim.DefaultConfig(machines)
+		c.Scale = 100_000
+		cfg := Config{K: 20, V: 10000, DocsPerMachine: 2_500_000, AvgDocLen: 210, Iterations: 1, Seed: 13, SVPerMachine: 50}
+		_, err := RunGraphLab(sim.New(c), cfg)
+		return err
+	}
+	if err := run(5); err != nil {
+		t.Errorf("5 machines should run: %v", err)
+	}
+	if err := run(20); !sim.IsOOM(err) {
+		t.Errorf("20 machines should OOM, got %v", err)
+	}
+}
+
+func TestGiraphSVFastestPlatform(t *testing.T) {
+	// Figure 3(b): Giraph's super-vertex HMM beats Spark and SimSQL by
+	// an order of magnitude.
+	cfg := Config{K: 8, V: 1000, DocsPerMachine: 250_000, AvgDocLen: 100, Iterations: 2, Seed: 13, SVPerMachine: 8}
+	gir, err := RunGiraph(smallCluster(2), cfg, VariantSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spark, err := RunSpark(smallCluster(2), cfg, VariantSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simsql, err := RunSimSQL(smallCluster(2), cfg, VariantSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(gir.AvgIterSec() < spark.AvgIterSec()/5 && gir.AvgIterSec() < simsql.AvgIterSec()/5) {
+		t.Errorf("Giraph SV (%v) should be far below Spark (%v) and SimSQL (%v)",
+			gir.AvgIterSec(), spark.AvgIterSec(), simsql.AvgIterSec())
+	}
+}

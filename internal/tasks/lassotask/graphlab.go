@@ -1,0 +1,253 @@
+package lassotask
+
+import (
+	"fmt"
+
+	"math"
+
+	"mlbench/internal/gas"
+	"mlbench/internal/linalg"
+	"mlbench/internal/models/lasso"
+	"mlbench/internal/randgen"
+	"mlbench/internal/sim"
+	"mlbench/internal/tasks/task"
+	"mlbench/internal/workload"
+)
+
+// Vertex layout: model vertices (one per regressor) at [0, P), the center
+// vertex at centerID, data super vertices above svBase.
+const (
+	centerID gas.VertexID = 1 << 40
+	svBase   gas.VertexID = 1 << 41
+)
+
+type lassoCenter struct {
+	state *lasso.State
+	sse   float64
+}
+
+type lassoModelVtx struct {
+	j   int
+	val float64 // current 1/tau_j^2
+}
+
+type lassoSV struct {
+	d   *workload.RegressionData
+	sse float64 // residual partial computed in the last apply
+}
+
+// lassoEdges: the center sits in the middle; model vertices and data
+// super vertices connect only to it.
+type lassoEdges struct {
+	spokes []gas.VertexID // model vertices + data SVs
+}
+
+func (e *lassoEdges) Neighbors(v gas.VertexID) []gas.VertexID {
+	if v == centerID {
+		return e.spokes
+	}
+	return []gas.VertexID{centerID}
+}
+
+// lassoGather accumulates what the center collects: the auxiliary vector
+// and the residual sum.
+type lassoGather struct {
+	isModel bool
+	invTau2 linalg.Vec // sparse by index; nil for data contributions
+	sse     float64
+}
+
+type lassoProg struct {
+	cfg    Config
+	h      lasso.Hyper
+	rng    *randgen.RNG
+	yBar   float64
+	n      float64
+	xtx    *linalg.Mat
+	xty    linalg.Vec
+	scale  float64
+	center *lassoCenter
+}
+
+func (p *lassoProg) ViewBytes(v *gas.Vertex) int64 {
+	switch v.Data.(type) {
+	case *lassoCenter:
+		return int64(8 * (p.cfg.P + 2))
+	case *lassoModelVtx:
+		return 16
+	default:
+		return 16
+	}
+}
+
+func (p *lassoProg) Gather(m *sim.Meter, v, nbr *gas.Vertex) any {
+	switch nd := nbr.Data.(type) {
+	case *lassoCenter:
+		// Model vertices and data SVs gather the (beta, sigma^2) view.
+		return lassoGather{isModel: true}
+	case *lassoModelVtx:
+		return lassoGather{invTau2: oneHot(p.cfg.P, nd.j, nd.val)}
+	case *lassoSV:
+		m.ChargeLinalgAbs(1, 2, 1)
+		return lassoGather{sse: nd.sse}
+	}
+	return lassoGather{}
+}
+
+func oneHot(p, j int, v float64) linalg.Vec {
+	out := linalg.NewVec(p)
+	out[j] = v
+	return out
+}
+
+func (p *lassoProg) Sum(m *sim.Meter, a, b any) any {
+	av, bv := a.(lassoGather), b.(lassoGather)
+	if av.isModel {
+		return av
+	}
+	if bv.invTau2 != nil {
+		if av.invTau2 == nil {
+			av.invTau2 = linalg.NewVec(p.cfg.P)
+		}
+		bv.invTau2.AddTo(av.invTau2)
+	}
+	av.sse += bv.sse
+	return av
+}
+
+func (p *lassoProg) Apply(m *sim.Meter, v *gas.Vertex, acc any) {
+	cfg := p.cfg
+	switch d := v.Data.(type) {
+	case *lassoCenter:
+		if acc == nil {
+			return
+		}
+		gv := acc.(lassoGather)
+		if gv.invTau2 != nil {
+			copy(d.state.InvTau2, gv.invTau2)
+		}
+		d.sse = gv.sse * p.scale
+		m.ChargeBulkSerialAbs(betaDrawFlops(cfg.P))
+		if err := lasso.SampleBeta(p.rng, d.state, p.xtx, p.xty); err == nil {
+			lasso.SampleSigma2(p.rng, d.state, p.n, d.sse)
+		}
+	case *lassoModelVtx:
+		// Resample 1/tau_j^2 from the gathered (beta_j, sigma^2).
+		m.ChargeLinalgAbs(1, 8, 1)
+		st := p.center.state
+		b2 := st.Beta[d.j] * st.Beta[d.j]
+		if b2 < 1e-300 {
+			b2 = 1e-300
+		}
+		l2 := p.h.Lambda * p.h.Lambda
+		mu := math.Sqrt(l2 * st.Sigma2 / b2)
+		if mu > 1e12 {
+			mu = 1e12
+		}
+		d.val = p.rng.InvGaussian(mu, l2)
+	case *lassoSV:
+		m.ChargeBulk(float64(len(d.d.X)) * 2 * float64(cfg.P))
+		d.sse = sseOf(d.d, p.center.state.Beta, p.yBar)
+	}
+}
+
+// RunGraphLab implements the paper's Section 6.3 GraphLab Bayesian Lasso
+// (super-vertex based, as the paper's was). Initialization uses
+// map_reduce_vertices to compute the Gram matrix and center the response
+// — local C++ matrix math plus a tree reduce, which is why GraphLab
+// initializes in about half a minute while SimSQL and Spark take hours.
+func RunGraphLab(cl *sim.Cluster, cfg Config) (*task.Result, error) {
+	cfg = cfg.withDefaults()
+	res := &task.Result{}
+	sw := task.NewStopwatch(cl)
+
+	g := gas.NewGraph(cl, nil)
+	if g.Clamped() {
+		res.Note("GraphLab booted on %d of %d machines", g.EffectiveMachines(), cl.NumMachines())
+	}
+	rng := randgen.New(cfg.Seed ^ 0x91a7)
+	prog := &lassoProg{cfg: cfg, h: lasso.Hyper{Lambda: cfg.Lambda, P: cfg.P}, rng: rng, scale: cl.Scale()}
+
+	center := &lassoCenter{state: lasso.Init(cfg.P)}
+	prog.center = center
+	var spokes []gas.VertexID
+	svPerMachine := cl.Config().Cores
+	for mc := 0; mc < g.EffectiveMachines(); mc++ {
+		d := genMachineData(cl, cfg, mc)
+		for s := 0; s < svPerMachine; s++ {
+			lo, hi := s*len(d.X)/svPerMachine, (s+1)*len(d.X)/svPerMachine
+			if lo == hi {
+				continue
+			}
+			sub := &workload.RegressionData{X: d.X[lo:hi], Y: d.Y[lo:hi]}
+			id := svBase + gas.VertexID(mc*svPerMachine+s)
+			bytes := int64(float64((hi-lo)*(8*cfg.P+8)) * cl.Scale())
+			g.AddVertex(id, &lassoSV{d: sub}, bytes, false, mc)
+			spokes = append(spokes, id)
+		}
+	}
+	for j := 0; j < cfg.P; j++ {
+		id := gas.VertexID(j)
+		g.AddVertex(id, &lassoModelVtx{j: j}, 16, false, j%g.EffectiveMachines())
+		spokes = append(spokes, id)
+	}
+	g.AddVertex(centerID, center, int64(8*(cfg.P+2)), false, 0)
+	g.SetEdges(&lassoEdges{spokes: spokes})
+	if err := g.Load(); err != nil {
+		return res, fmt.Errorf("lasso graphlab: load: %w", err)
+	}
+
+	// Initialization: two map_reduce_vertices passes — Gram matrix /
+	// centered response, then X^T y (real dense math; one partial matrix
+	// per machine travels up the tree).
+	acc := localGramZero(cfg.P)
+	if _, err := g.MapReduceVertices(int64(8*cfg.P*cfg.P), func(m *sim.Meter, v *gas.Vertex) any {
+		if sv, ok := v.Data.(*lassoSV); ok {
+			m.ChargeBulk(float64(len(sv.d.X)) * gramFlops(cfg.P))
+			part := localGram(sv.d, cfg.P)
+			return &part
+		}
+		return nil
+	}, func(m *sim.Meter, a, b any) any {
+		ap, aok := a.(*gramPartial)
+		bp, bok := b.(*gramPartial)
+		switch {
+		case aok && bok:
+			m.ChargeBulkAbs(float64(cfg.P * cfg.P))
+			ap.merge(*bp)
+			return ap
+		case aok:
+			return ap
+		default:
+			return bp
+		}
+	}); err != nil {
+		return res, err
+	}
+	// Accumulate for the task (the reduce above returned the merged
+	// partial; recompute deterministically for the driver-held state).
+	for mc := 0; mc < g.EffectiveMachines(); mc++ {
+		part := localGram(genMachineData(cl, cfg, mc), cfg.P)
+		acc.merge(part)
+	}
+	// Second pass: X^T y (already inside the partials; charge the pass).
+	if _, err := g.MapReduceVertices(int64(8*cfg.P), func(m *sim.Meter, v *gas.Vertex) any {
+		if sv, ok := v.Data.(*lassoSV); ok {
+			m.ChargeBulk(float64(len(sv.d.X)) * 2 * float64(cfg.P))
+		}
+		return nil
+	}, func(m *sim.Meter, a, b any) any { return nil }); err != nil {
+		return res, err
+	}
+	prog.xtx, prog.xty, prog.yBar, prog.n = acc.finish(cl.Scale())
+	res.InitSec = sw.Lap()
+
+	for iter := 0; iter < cfg.Iterations; iter++ {
+		if err := g.RunRound(prog, nil); err != nil {
+			return res, fmt.Errorf("lasso graphlab iter %d: %w", iter, err)
+		}
+		res.IterSecs = append(res.IterSecs, sw.Lap())
+	}
+	recordQuality(cfg, center.state.Beta, res)
+	return res, nil
+}

@@ -1,0 +1,117 @@
+package lassotask
+
+import (
+	"testing"
+
+	"mlbench/internal/sim"
+	"mlbench/internal/tasks/task"
+)
+
+func smallCluster(machines int) *sim.Cluster {
+	cfg := sim.DefaultConfig(machines)
+	cfg.Scale = 100
+	return sim.New(cfg)
+}
+
+// smallConfig keeps P modest so the P^3 draws stay fast in tests.
+func smallConfig() Config {
+	return Config{P: 30, PointsPerMachine: 50_000, Iterations: 8, Lambda: 1, Seed: 7}
+}
+
+func checkResult(t *testing.T, res *task.Result, err error, iters int) {
+	t.Helper()
+	if err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	if len(res.IterSecs) != iters {
+		t.Fatalf("iterations = %d, want %d", len(res.IterSecs), iters)
+	}
+	if res.InitSec <= 0 || res.AvgIterSec() <= 0 {
+		t.Errorf("timings not positive: %+v", res)
+	}
+	// Per-coefficient recovery error should be small: planted magnitudes
+	// are >= 2, so 0.2 per coefficient means solid recovery.
+	if e := res.Metrics["beta_err"]; e > 0.2 {
+		t.Errorf("beta recovery error = %v, model did not learn", e)
+	}
+}
+
+func TestRunSparkLearns(t *testing.T) {
+	res, err := RunSpark(smallCluster(2), smallConfig())
+	checkResult(t, res, err, 8)
+}
+
+func TestRunSimSQLLearns(t *testing.T) {
+	res, err := RunSimSQL(smallCluster(2), smallConfig())
+	checkResult(t, res, err, 8)
+}
+
+func TestRunGraphLabLearns(t *testing.T) {
+	res, err := RunGraphLab(smallCluster(2), smallConfig())
+	checkResult(t, res, err, 8)
+}
+
+func TestRunGiraphSuperVertexLearns(t *testing.T) {
+	cfg := smallConfig()
+	cfg.SuperVertex = true
+	res, err := RunGiraph(smallCluster(2), cfg)
+	checkResult(t, res, err, 8)
+}
+
+func TestGiraphPlainFails(t *testing.T) {
+	// Figure 2: plain (per-point) Giraph fails at every cluster size.
+	c := sim.DefaultConfig(5)
+	c.Scale = 10000
+	cfg := Config{P: 1000, PointsPerMachine: 100_000, Iterations: 1, Seed: 7}
+	if _, err := RunGiraph(sim.New(c), cfg); !sim.IsOOM(err) {
+		t.Fatalf("expected OOM, got %v", err)
+	}
+}
+
+func TestGiraphSuperVertexRunsAtScale(t *testing.T) {
+	// Figure 2: the super-vertex Giraph Lasso runs even at 100 machines.
+	c := sim.DefaultConfig(100)
+	c.Scale = 100000
+	cfg := Config{P: 1000, PointsPerMachine: 100_000, Iterations: 1, Seed: 7, SuperVertex: true}
+	if _, err := RunGiraph(sim.New(c), cfg); err != nil {
+		t.Fatalf("super-vertex run failed: %v", err)
+	}
+}
+
+func TestInitTimesOrdering(t *testing.T) {
+	// Figure 2's initialization story: SimSQL and Spark take orders of
+	// magnitude longer than GraphLab and Giraph (Gram matrix via
+	// tuple/Python machinery vs local matrix math).
+	cfg := Config{P: 200, PointsPerMachine: 100_000, Iterations: 1, Seed: 7}
+	spark, err := RunSpark(smallCluster(2), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simsql, err := RunSimSQL(smallCluster(2), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gl, err := RunGraphLab(smallCluster(2), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svCfg := cfg
+	svCfg.SuperVertex = true
+	gir, err := RunGiraph(smallCluster(2), svCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(gl.InitSec < spark.InitSec && gl.InitSec < simsql.InitSec) {
+		t.Errorf("GraphLab init (%v) should be far below Spark (%v) and SimSQL (%v)",
+			gl.InitSec, spark.InitSec, simsql.InitSec)
+	}
+	if !(gir.InitSec < spark.InitSec && gir.InitSec < simsql.InitSec) {
+		t.Errorf("Giraph init (%v) should be far below Spark (%v) and SimSQL (%v)",
+			gir.InitSec, spark.InitSec, simsql.InitSec)
+	}
+	// Per-iteration: SimSQL is the slowest platform by a wide margin.
+	if !(simsql.AvgIterSec() > spark.AvgIterSec() && simsql.AvgIterSec() > gl.AvgIterSec() && simsql.AvgIterSec() > gir.AvgIterSec()) {
+		t.Errorf("SimSQL per-iteration (%v) should exceed Spark (%v), GraphLab (%v) and Giraph (%v)",
+			simsql.AvgIterSec(), spark.AvgIterSec(), gl.AvgIterSec(), gir.AvgIterSec())
+	}
+}

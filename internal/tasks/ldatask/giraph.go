@@ -1,0 +1,169 @@
+package ldatask
+
+import (
+	"fmt"
+
+	"mlbench/internal/bsp"
+	"mlbench/internal/models/lda"
+	"mlbench/internal/randgen"
+	"mlbench/internal/sim"
+	"mlbench/internal/tasks/task"
+)
+
+// Giraph vertex layout: topic vertices at [0, T), data vertices above
+// ldaDataBase.
+const ldaDataBase bsp.VertexID = 1 << 41
+
+// ldaDocVtx is one document; ldaBlockVtx is a super vertex of documents.
+type ldaDocVtx struct{ doc *lda.Doc }
+type ldaBlockVtx struct{ docs []*lda.Doc }
+
+// ldaTopicVtx is one topic holding a slice of phi.
+type ldaTopicVtx struct{ t int }
+
+// ldaCountsMsg carries g(t, w) contributions. Unlike the HMM code, the
+// paper's Giraph LDA cannot usefully combine these: at 100 topics the
+// count dictionaries are ~80MB boxed objects, and combining them churns
+// the JVM heap — so they ship raw, which both makes Giraph's LDA about
+// ten times slower than its HMM and sinks it at 100 machines. The
+// payload here is the sparse document references; the simulated byte
+// size reflects the boxed dictionary the real system would ship.
+type ldaCountsMsg struct {
+	docs   []*lda.Doc
+	weight float64
+}
+
+// RunGiraph implements the paper's Giraph LDA (Figures 4(a) and 4(b)).
+func RunGiraph(cl *sim.Cluster, cfg Config, variant Variant) (*task.Result, error) {
+	cfg = cfg.withDefaults()
+	cfg.Variant = variant
+	res := &task.Result{}
+	if variant == VariantWord {
+		return res, fmt.Errorf("ldatask: the paper did not attempt a word-based Giraph LDA (the HMM result made it moot)")
+	}
+	sw := task.NewStopwatch(cl)
+	machines := cl.NumMachines()
+	h := cfg.hyper()
+
+	g := bsp.NewGraph(cl) // no combiner; see ldaCountsMsg
+	rng := randgen.New(cfg.Seed ^ 0x1da3)
+	model := lda.Init(rng, h)
+
+	machineDocs := make([][]*lda.Doc, machines)
+	next := int64(ldaDataBase)
+	for mc := 0; mc < machines; mc++ {
+		words := genMachineDocs(cl, cfg, mc)
+		docs := make([]*lda.Doc, len(words))
+		for i, w := range words {
+			docs[i] = lda.InitDoc(rng, w, h)
+		}
+		machineDocs[mc] = docs
+		switch variant {
+		case VariantDoc:
+			for _, d := range docs {
+				g.AddVertex(bsp.VertexID(next), &ldaDocVtx{doc: d},
+					int64(16*len(d.Words))+int64(8*cfg.T)+64, true, mc)
+				next++
+			}
+		default: // VariantSV
+			nsv := cfg.SVPerMachine // blocks may be empty at high scale-down; messages stay dense
+			for s := 0; s < nsv; s++ {
+				lo, hi := s*len(docs)/nsv, (s+1)*len(docs)/nsv
+				blk := &ldaBlockVtx{docs: docs[lo:hi]}
+				var words int
+				for _, d := range blk.docs {
+					words += len(d.Words)
+				}
+				bytes := int64(float64(16*words+8*cfg.T*len(blk.docs)) * cl.Scale())
+				g.AddVertex(bsp.VertexID(next), blk, bytes, false, mc)
+				next++
+			}
+		}
+	}
+	for t := 0; t < cfg.T; t++ {
+		g.AddVertex(bsp.VertexID(t), &ldaTopicVtx{t: t}, int64(8*cfg.V), false, t%machines)
+	}
+	if err := g.Load(); err != nil {
+		return res, fmt.Errorf("lda giraph %s: load: %w", variant, err)
+	}
+	res.InitSec = sw.Lap()
+
+	// The per-machine count payload is sparse-token-bounded.
+	perDocTokens := cfg.AvgDocLen
+	perBlockTokens := cfg.DocsPerMachine / cfg.SVPerMachine * cfg.AvgDocLen
+	for iter := 0; iter < cfg.Iterations; iter++ {
+		// Superstep A: topic vertex 0 publishes phi on the shared channel.
+		err := g.RunSuperstep(func(ctx *bsp.Context, v *bsp.Vertex, msgs []bsp.Msg) error {
+			if tv, ok := v.Data.(*ldaTopicVtx); ok && tv.t == 0 {
+				ctx.SetShared("phi", model, modelBytes(cfg.T, cfg.V))
+			}
+			return nil
+		})
+		if err != nil {
+			return res, fmt.Errorf("lda giraph %s iter %d: model: %w", variant, iter, err)
+		}
+		// Superstep B: data vertices resample z/theta and ship their raw
+		// count dictionaries to topic vertex 0.
+		err = g.RunSuperstep(func(ctx *bsp.Context, v *bsp.Vertex, msgs []bsp.Msg) error {
+			m := ctx.Meter()
+			switch d := v.Data.(type) {
+			case *ldaDocVtx:
+				m.ChargeTuples(2 * len(d.doc.Words))
+				m.ChargeBulk(float64(len(d.doc.Words)) * lda.ZFlops(cfg.T))
+				model.ResampleZ(m.RNG(), d.doc)
+				d.doc.ResampleTheta(m.RNG(), h)
+				ctx.Send(0, &ldaCountsMsg{docs: []*lda.Doc{d.doc}, weight: cl.Scale()},
+					boxedCountBytes(sim.ProfileJava, cfg.T, cfg.V, perDocTokens))
+			case *ldaBlockVtx:
+				for _, doc := range d.docs {
+					// Every word's z is resampled; each pays a boxed
+					// touch plus the T-weight scan.
+					m.ChargeTuples(len(doc.Words))
+					m.ChargeBulk(float64(len(doc.Words)) * lda.ZFlops(cfg.T))
+					model.ResampleZ(m.RNG(), doc)
+					doc.ResampleTheta(m.RNG(), h)
+				}
+				ctx.Send(0, &ldaCountsMsg{docs: d.docs, weight: cl.Scale()},
+					boxedCountBytes(sim.ProfileJava, cfg.T, cfg.V, perBlockTokens))
+			}
+			return nil
+		})
+		if err != nil {
+			return res, fmt.Errorf("lda giraph %s iter %d: resample: %w", variant, iter, err)
+		}
+		// Superstep C: merge and redraw phi.
+		var gathered *lda.WordCounts
+		err = g.RunSuperstep(func(ctx *bsp.Context, v *bsp.Vertex, msgs []bsp.Msg) error {
+			if tv, ok := v.Data.(*ldaTopicVtx); ok && tv.t == 0 {
+				m := ctx.Meter()
+				gathered = lda.NewWordCounts(cfg.T, cfg.V)
+				for _, msg := range msgs {
+					if cm, ok := msg.Data.(*ldaCountsMsg); ok {
+						m.ChargeLinalgAbs(1, float64(cfg.T*cfg.V), 1)
+						for _, doc := range cm.docs {
+							gathered.Accumulate(doc, cm.weight)
+						}
+					}
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return res, fmt.Errorf("lda giraph %s iter %d: gather: %w", variant, iter, err)
+		}
+		if gathered == nil {
+			return res, fmt.Errorf("lda giraph %s iter %d: no counts gathered", variant, iter)
+		}
+		if err := cl.RunDriver("lda-giraph-update", func(m *sim.Meter) error {
+			m.SetProfile(sim.ProfileJava)
+			m.ChargeLinalgAbs(cfg.T, float64(cfg.V), 1)
+			model.UpdatePhi(rng, h, gathered)
+			return nil
+		}); err != nil {
+			return res, err
+		}
+		res.IterSecs = append(res.IterSecs, sw.Lap())
+	}
+	recordQuality(cfg, model, machineDocs[0], res)
+	return res, nil
+}

@@ -1,0 +1,176 @@
+package ldatask
+
+import (
+	"testing"
+
+	"mlbench/internal/sim"
+	"mlbench/internal/tasks/task"
+)
+
+func smallCluster(machines int) *sim.Cluster {
+	cfg := sim.DefaultConfig(machines)
+	cfg.Scale = 1000
+	return sim.New(cfg)
+}
+
+func smallConfig() Config {
+	return Config{T: 4, V: 120, DocsPerMachine: 60_000, AvgDocLen: 40, Iterations: 6, Seed: 19, SVPerMachine: 4}
+}
+
+func checkResult(t *testing.T, res *task.Result, err error, iters int) {
+	t.Helper()
+	if err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	if len(res.IterSecs) != iters {
+		t.Fatalf("iterations = %d, want %d", len(res.IterSecs), iters)
+	}
+	if res.InitSec <= 0 || res.AvgIterSec() <= 0 {
+		t.Errorf("timings not positive: %+v", res.IterSecs)
+	}
+	ll, ok := res.Metrics["loglike"]
+	if !ok {
+		t.Fatal("no loglike metric")
+	}
+	// Uniform word likelihood is log(1/120) = -4.8; the skewed corpus
+	// should be modeled much better.
+	if ll < -4.8 {
+		t.Errorf("per-word loglike = %v; model did not learn", ll)
+	}
+}
+
+func TestSparkPythonDocLearns(t *testing.T) {
+	res, err := RunSpark(smallCluster(2), smallConfig(), VariantDoc, sim.ProfilePython)
+	checkResult(t, res, err, 6)
+}
+
+func TestSparkJavaSVLearns(t *testing.T) {
+	res, err := RunSpark(smallCluster(2), smallConfig(), VariantSV, sim.ProfileJava)
+	checkResult(t, res, err, 6)
+}
+
+func TestSparkWordRefused(t *testing.T) {
+	if _, err := RunSpark(smallCluster(1), smallConfig(), VariantWord, sim.ProfilePython); err == nil {
+		t.Fatal("word-based Spark LDA should not be available")
+	}
+}
+
+func TestSimSQLAllVariantsLearn(t *testing.T) {
+	for _, v := range []Variant{VariantWord, VariantDoc, VariantSV} {
+		res, err := RunSimSQL(smallCluster(2), smallConfig(), v)
+		checkResult(t, res, err, 6)
+	}
+}
+
+func TestSimSQLGranularityOrdering(t *testing.T) {
+	// Figure 4: word-based is by far the slowest, super-vertex the
+	// fastest.
+	cfg := Config{T: 10, V: 1000, DocsPerMachine: 250_000, AvgDocLen: 100, Iterations: 1, Seed: 19}
+	word, err := RunSimSQL(smallCluster(2), cfg, VariantWord)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := RunSimSQL(smallCluster(2), cfg, VariantDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv, err := RunSimSQL(smallCluster(2), cfg, VariantSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(word.AvgIterSec() > doc.AvgIterSec() && doc.AvgIterSec() > sv.AvgIterSec()) {
+		t.Errorf("ordering wrong: word=%v doc=%v sv=%v", word.AvgIterSec(), doc.AvgIterSec(), sv.AvgIterSec())
+	}
+}
+
+func TestGiraphDocLearns(t *testing.T) {
+	res, err := RunGiraph(smallCluster(2), smallConfig(), VariantDoc)
+	checkResult(t, res, err, 6)
+}
+
+func TestGiraphSVLearns(t *testing.T) {
+	res, err := RunGiraph(smallCluster(2), smallConfig(), VariantSV)
+	checkResult(t, res, err, 6)
+}
+
+func TestGiraphSVFailsAtHundredMachines(t *testing.T) {
+	// Figure 4(b): Giraph's super-vertex LDA runs at 5 and 20 machines
+	// but fails at 100.
+	run := func(machines int) error {
+		c := sim.DefaultConfig(machines)
+		c.Scale = 250_000
+		cfg := Config{T: 100, V: 10000, DocsPerMachine: 2_500_000, AvgDocLen: 210, Iterations: 1, Seed: 19, SVPerMachine: 50}
+		_, err := RunGiraph(sim.New(c), cfg, VariantSV)
+		return err
+	}
+	if err := run(5); err != nil {
+		t.Errorf("5 machines should run: %v", err)
+	}
+	if err := run(20); err != nil {
+		t.Errorf("20 machines should run: %v", err)
+	}
+	if err := run(100); !sim.IsOOM(err) {
+		t.Errorf("100 machines should OOM, got %v", err)
+	}
+}
+
+func TestGraphLabSVLearns(t *testing.T) {
+	res, err := RunGraphLab(smallCluster(2), smallConfig())
+	checkResult(t, res, err, 6)
+}
+
+func TestGraphLabSVFailsAtTwentyMachines(t *testing.T) {
+	// Figure 4(b): GraphLab runs at 5 machines, fails at 20 and beyond.
+	run := func(machines int) error {
+		c := sim.DefaultConfig(machines)
+		c.Scale = 250_000
+		cfg := Config{T: 100, V: 10000, DocsPerMachine: 2_500_000, AvgDocLen: 210, Iterations: 1, Seed: 19, SVPerMachine: 50}
+		_, err := RunGraphLab(sim.New(c), cfg)
+		return err
+	}
+	if err := run(5); err != nil {
+		t.Errorf("5 machines should run: %v", err)
+	}
+	if err := run(20); !sim.IsOOM(err) {
+		t.Errorf("20 machines should OOM, got %v", err)
+	}
+}
+
+func TestSparkFailsAtHundredMachines(t *testing.T) {
+	// Figures 4(b) and 6: Spark LDA (Python and Java) dies at 100
+	// machines; the single-reducer aggregation of boxed per-partition
+	// count dictionaries plus two resident copies of the cached state RDD
+	// exhaust an executor.
+	run := func(machines int, profile sim.Profile) error {
+		c := sim.DefaultConfig(machines)
+		c.Scale = 250_000
+		cfg := Config{T: 100, V: 10000, DocsPerMachine: 2_500_000, AvgDocLen: 210, Iterations: 1, Seed: 19}
+		_, err := RunSpark(sim.New(c), cfg, VariantSV, profile)
+		return err
+	}
+	if err := run(5, sim.ProfilePython); err != nil {
+		t.Errorf("5 machines should run: %v", err)
+	}
+	if err := run(100, sim.ProfilePython); !sim.IsOOM(err) {
+		t.Errorf("100 machines (Python) should OOM, got %v", err)
+	}
+	if err := run(100, sim.ProfileJava); !sim.IsOOM(err) {
+		t.Errorf("100 machines (Java) should OOM, got %v", err)
+	}
+}
+
+func TestSparkJavaFasterThanPython(t *testing.T) {
+	// Figure 6: the Java LDA is considerably faster per iteration.
+	cfg := Config{T: 10, V: 1000, DocsPerMachine: 250_000, AvgDocLen: 100, Iterations: 2, Seed: 19}
+	py, err := RunSpark(smallCluster(2), cfg, VariantSV, sim.ProfilePython)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jv, err := RunSpark(smallCluster(2), cfg, VariantSV, sim.ProfileJava)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jv.AvgIterSec() >= py.AvgIterSec() {
+		t.Errorf("Java (%v) should beat Python (%v)", jv.AvgIterSec(), py.AvgIterSec())
+	}
+}

@@ -1,0 +1,76 @@
+// Package task provides the shared scaffolding of the per-platform
+// benchmark implementations: result bookkeeping against the virtual
+// clock, and data-distribution helpers.
+package task
+
+import (
+	"fmt"
+
+	"mlbench/internal/sim"
+)
+
+// Result reports one task run: initialization time, per-iteration times
+// (all in virtual seconds at paper scale), free-form notes (e.g. the
+// GraphLab boot clamp), and model-quality diagnostics.
+type Result struct {
+	InitSec  float64
+	IterSecs []float64
+	Notes    []string
+	Metrics  map[string]float64
+}
+
+// AvgIterSec returns the mean per-iteration time, the quantity the
+// paper's tables report.
+func (r *Result) AvgIterSec() float64 {
+	if len(r.IterSecs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, t := range r.IterSecs {
+		s += t
+	}
+	return s / float64(len(r.IterSecs))
+}
+
+// SetMetric records a named diagnostic.
+func (r *Result) SetMetric(name string, v float64) {
+	if r.Metrics == nil {
+		r.Metrics = map[string]float64{}
+	}
+	r.Metrics[name] = v
+}
+
+// Note appends a formatted note.
+func (r *Result) Note(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// Stopwatch measures virtual-clock intervals on a cluster.
+type Stopwatch struct {
+	c    *sim.Cluster
+	last float64
+}
+
+// NewStopwatch starts timing from the cluster's current virtual time.
+func NewStopwatch(c *sim.Cluster) *Stopwatch {
+	return &Stopwatch{c: c, last: c.Now()}
+}
+
+// Lap returns the virtual seconds since the previous Lap (or creation)
+// and resets the mark.
+func (s *Stopwatch) Lap() float64 {
+	now := s.c.Now()
+	d := now - s.last
+	s.last = now
+	return d
+}
+
+// RealCount converts a paper-scale per-machine element count into the
+// number of real in-memory elements (at least 1).
+func RealCount(c *sim.Cluster, paperPerMachine int) int {
+	n := int(float64(paperPerMachine) / c.Scale())
+	if n < 1 {
+		n = 1
+	}
+	return n
+}

@@ -1,0 +1,56 @@
+package task
+
+import (
+	"testing"
+
+	"mlbench/internal/sim"
+)
+
+func TestAvgIterSec(t *testing.T) {
+	r := &Result{}
+	if r.AvgIterSec() != 0 {
+		t.Error("empty result should average to 0")
+	}
+	r.IterSecs = []float64{10, 20, 30}
+	if got := r.AvgIterSec(); got != 20 {
+		t.Errorf("AvgIterSec = %v, want 20", got)
+	}
+}
+
+func TestSetMetricAndNote(t *testing.T) {
+	r := &Result{}
+	r.SetMetric("x", 1.5)
+	r.SetMetric("x", 2.5)
+	if r.Metrics["x"] != 2.5 {
+		t.Errorf("metric = %v", r.Metrics["x"])
+	}
+	r.Note("hello %d", 7)
+	if len(r.Notes) != 1 || r.Notes[0] != "hello 7" {
+		t.Errorf("notes = %v", r.Notes)
+	}
+}
+
+func TestStopwatchLaps(t *testing.T) {
+	c := sim.New(sim.DefaultConfig(1))
+	sw := NewStopwatch(c)
+	c.Advance(5)
+	if got := sw.Lap(); got != 5 {
+		t.Errorf("lap 1 = %v", got)
+	}
+	c.Advance(3)
+	if got := sw.Lap(); got != 3 {
+		t.Errorf("lap 2 = %v", got)
+	}
+}
+
+func TestRealCount(t *testing.T) {
+	cfg := sim.DefaultConfig(1)
+	cfg.Scale = 1000
+	c := sim.New(cfg)
+	if got := RealCount(c, 5000); got != 5 {
+		t.Errorf("RealCount = %d, want 5", got)
+	}
+	if got := RealCount(c, 10); got != 1 {
+		t.Errorf("RealCount should floor at 1, got %d", got)
+	}
+}
