@@ -2,10 +2,14 @@
 // of "A Comparison of Platforms for Implementing and Running Very Large
 // Scale Machine Learning Algorithms", SIGMOD 2014) on the simulated
 // cluster, printing measured values next to the paper's published ones.
+// The fig7 family goes beyond the paper: it injects machine crashes and
+// stragglers and measures each platform's recovery.
 //
 // Usage:
 //
 //	mlbench [-figure fig1a] [-iters 2] [-scalediv 1] [-agree 3]
+//	mlbench -figure fig7                      # recovery table, 1 crash
+//	mlbench -figure fig2 -failures 2 -failat 0.25 -straggle 4
 //
 // With no -figure, every figure runs in order.
 package main
@@ -19,7 +23,7 @@ import (
 )
 
 func main() {
-	figure := flag.String("figure", "", "figure id to run (fig1a, fig1b, fig1c, fig2, fig3a, fig3b, fig4a, fig4b, fig5, fig6); empty = all")
+	figure := flag.String("figure", "", "figure id to run (fig1a..fig6 from the paper; fig7, fig7b, fig7c measure failure recovery); empty = all")
 	iters := flag.Int("iters", 2, "Gibbs iterations per experiment (the paper averaged the first five)")
 	scaleDiv := flag.Float64("scalediv", 1, "divide the default scale-down factors by this (more real data, slower)")
 	agree := flag.Float64("agree", 3, "agreement factor: cells within this multiple of the paper's value count as matching")
@@ -27,7 +31,12 @@ func main() {
 	loc := flag.Bool("loc", false, "print the lines-of-code table (the paper's LoC column analogue) and exit")
 	list := flag.Bool("list", false, "list the available figures and exit")
 	md := flag.Bool("md", false, "render tables as GitHub markdown (for EXPERIMENTS.md)")
-	trace := flag.Bool("trace", false, "print each cell's most expensive simulation phases")
+	trace := flag.Bool("trace", false, "print each cell's most expensive simulation phases (time, comm share, tasks)")
+	failures := flag.Int("failures", 0, "machine crashes to inject into every cell (deterministic from -seed)")
+	failAt := flag.Float64("failat", 0.5, "iteration offset of the first crash (0.5 = mid-first-iteration)")
+	straggle := flag.Float64("straggle", 0, "slow one machine by this factor for the whole run (>1 to enable)")
+	ckpt := flag.Int("ckpt", 0, "Giraph checkpoint interval in supersteps (0 = default 3 under faults, <0 = off)")
+	snap := flag.Int("snap", 0, "GraphLab snapshot interval in rounds (0 = default 3 under faults, <0 = off)")
 	flag.Parse()
 
 	if *list {
@@ -45,7 +54,9 @@ func main() {
 		return
 	}
 
-	opts := bench.Options{Iterations: *iters, ScaleDiv: *scaleDiv, Seed: *seed, Trace: *trace}
+	opts := bench.Options{Iterations: *iters, ScaleDiv: *scaleDiv, Seed: *seed, Trace: *trace,
+		Faults: bench.FaultConfig{Failures: *failures, FailAt: *failAt, Straggle: *straggle,
+			BSPCheckpointEvery: *ckpt, GASSnapshotEvery: *snap}}
 	var figures []*bench.Figure
 	if *figure == "" {
 		figures = bench.Figures(opts)

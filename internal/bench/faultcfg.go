@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"mlbench/internal/faults"
+)
+
+// FaultConfig configures deterministic fault injection for a benchmark
+// run: how many machine crashes to spread over the measured iterations,
+// where the first one lands, an optional straggler, and the engines'
+// checkpointing policies. The zero value injects nothing and leaves
+// checkpointing off, so the paper's figures are unchanged.
+//
+// Crash times are placed by a probe run: the cell first runs clean to
+// learn its (deterministic) init and per-iteration times, then re-runs
+// with crashes scheduled at absolute virtual times inside the measured
+// window. Identical seed and config therefore produce byte-identical
+// tables.
+type FaultConfig struct {
+	// Failures is the number of machine crashes injected (victims chosen
+	// deterministically from the seed; machine 0 is spared as the
+	// driver/master).
+	Failures int
+	// FailAt is the iteration offset of the crash window's start: the
+	// first crash lands after init + FailAt iterations (default 0.5 —
+	// mid-first-iteration).
+	FailAt float64
+	// Straggle, when > 1, slows one machine by this factor for the whole
+	// measured run.
+	Straggle float64
+	// BSPCheckpointEvery is the Giraph checkpoint interval in supersteps:
+	// 0 picks the recovery figures' default (3) when faults are active,
+	// negative disables checkpointing.
+	BSPCheckpointEvery int
+	// GASSnapshotEvery is the GraphLab snapshot interval in rounds, same
+	// conventions as BSPCheckpointEvery.
+	GASSnapshotEvery int
+}
+
+// Active reports whether the config injects any fault.
+func (fc FaultConfig) Active() bool { return fc.Failures > 0 || fc.Straggle > 1 }
+
+// withFaultDefaults fills the knobs left unset: crashes land from
+// mid-first-iteration, and rollback engines checkpoint every 3 steps so
+// each platform shows its recovery shape rather than a full restart.
+func (fc FaultConfig) withFaultDefaults() FaultConfig {
+	if fc.FailAt <= 0 {
+		fc.FailAt = 0.5
+	}
+	if fc.BSPCheckpointEvery == 0 {
+		fc.BSPCheckpointEvery = 3
+	}
+	if fc.GASSnapshotEvery == 0 {
+		fc.GASSnapshotEvery = 3
+	}
+	return fc
+}
+
+// schedule builds the absolute-time event schedule for a cell from its
+// probed init and iteration times.
+func (fc FaultConfig) schedule(initSec, iterSec float64, iters, machines int, seed uint64) *faults.Schedule {
+	var evs []faults.Event
+	if fc.Failures > 0 && iterSec > 0 {
+		start := initSec + fc.FailAt*iterSec
+		span := float64(iters) - fc.FailAt
+		if span < 1 {
+			span = 1
+		}
+		s := faults.SpreadCrashes(fc.Failures, machines, start, start+span*iterSec, seed)
+		evs = append(evs, s.Events...)
+	}
+	if fc.Straggle > 1 {
+		victim := machines - 1
+		if victim < 0 {
+			victim = 0
+		}
+		evs = append(evs, faults.StraggleAt(victim, initSec, 0, fc.Straggle))
+	}
+	if len(evs) == 0 {
+		return nil
+	}
+	return faults.NewSchedule(evs...)
+}
+
+// interval translates the FaultConfig convention (0 = unset, negative =
+// off) to the sim.RecoveryConfig convention (0 = off).
+func interval(k int) int {
+	if k < 0 {
+		return 0
+	}
+	return k
+}

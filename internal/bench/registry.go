@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"mlbench/internal/faults"
 	"mlbench/internal/sim"
 	"mlbench/internal/tasks/gmmtask"
 	"mlbench/internal/tasks/hmmtask"
@@ -27,6 +28,10 @@ type Options struct {
 	// Trace records each cell's five most expensive simulation phases in
 	// its notes (the "-trace" CLI flag).
 	Trace bool
+	// Faults injects machine crashes and stragglers into every cell (the
+	// "-failures"/"-failat"/"-straggle" CLI flags). Individual figures may
+	// override it per cell — the recovery figures (fig7 family) do.
+	Faults FaultConfig
 }
 
 func (o Options) withDefaults() Options {
@@ -53,6 +58,8 @@ type cellSpec struct {
 	run       runFn
 	paperIter string // "Fail", "NA", or H:MM:SS
 	paperInit string
+	// faults, when set, overrides Options.Faults for this cell.
+	faults *FaultConfig
 }
 
 // rowSpec is one table row.
@@ -80,6 +87,78 @@ func newCluster(machines int, scale float64, o Options) *sim.Cluster {
 	return sim.New(cfg)
 }
 
+// newFaultCluster builds a cell's cluster with a fault schedule and the
+// engines' checkpointing policies installed. A nil schedule with an
+// inactive config is exactly newCluster.
+func newFaultCluster(machines int, scale float64, o Options, sched *faults.Schedule, fc FaultConfig) *sim.Cluster {
+	cfg := sim.DefaultConfig(machines)
+	cfg.Scale = scale / o.ScaleDiv
+	if cfg.Scale < 1 {
+		cfg.Scale = 1
+	}
+	cfg.Seed = o.Seed
+	cfg.Trace = o.Trace
+	cfg.Faults = sched
+	cfg.Recovery.BSPCheckpointEvery = interval(fc.BSPCheckpointEvery)
+	cfg.Recovery.GASSnapshotEvery = interval(fc.GASSnapshotEvery)
+	return sim.New(cfg)
+}
+
+// runCell executes one cell. When faults are configured, the cell runs
+// twice: a clean probe run learns the deterministic init and iteration
+// times, then the measured run re-executes with crashes scheduled at
+// absolute virtual times inside the measured window (and observed
+// recoveries recorded in the cell's notes).
+func runCell(c cellSpec, row string, o Options) Cell {
+	cell := Cell{
+		RowLabel:     row,
+		ColLabel:     c.col,
+		PaperIterSec: ParseDuration(c.paperIter),
+		PaperInitSec: ParseDuration(c.paperInit),
+		PaperFail:    c.paperIter == "Fail",
+		PaperNA:      c.paperIter == "NA",
+	}
+	if c.run == nil || cell.PaperNA {
+		cell.Skipped = true
+		return cell
+	}
+	fc := o.Faults
+	if c.faults != nil {
+		fc = *c.faults
+	}
+	var sched *faults.Schedule
+	if fc.Active() {
+		fc = fc.withFaultDefaults()
+		probe := newCluster(c.machines, c.scale, o)
+		if res, err := c.run(probe); err == nil {
+			sched = fc.schedule(res.InitSec, res.AvgIterSec(), o.Iterations, c.machines, o.Seed)
+		}
+	}
+	cl := newFaultCluster(c.machines, c.scale, o, sched, fc)
+	res, err := c.run(cl)
+	if err != nil {
+		if sim.IsOOM(err) {
+			cell.Failed = true
+			cell.Notes = append(cell.Notes, err.Error())
+		} else {
+			cell.Failed = true
+			cell.Notes = append(cell.Notes, "error: "+err.Error())
+		}
+	} else {
+		cell.IterSec = res.AvgIterSec()
+		cell.InitSec = res.InitSec
+		cell.Notes = res.Notes
+	}
+	for _, f := range cl.Faults() {
+		cell.Notes = append(cell.Notes, fmt.Sprintf("fault: %s, observed at %s in %q, recovery %s",
+			f.Event, FormatDuration(f.ObservedAt), f.Phase, FormatDuration(f.RecoverySec)))
+	}
+	if o.Trace {
+		cell.Notes = append(cell.Notes, topPhases(cl, 5)...)
+	}
+	return cell
+}
+
 // Run executes the figure and returns the rendered table.
 func (f *Figure) Run(o Options) *Table {
 	o = o.withDefaults()
@@ -91,38 +170,7 @@ func (f *Figure) Run(o Options) *Table {
 			if !contains(t.Cols, c.col) {
 				t.Cols = append(t.Cols, c.col)
 			}
-			cell := Cell{
-				RowLabel:     r.label,
-				ColLabel:     c.col,
-				PaperIterSec: ParseDuration(c.paperIter),
-				PaperInitSec: ParseDuration(c.paperInit),
-				PaperFail:    c.paperIter == "Fail",
-				PaperNA:      c.paperIter == "NA",
-			}
-			if c.run == nil || cell.PaperNA {
-				cell.Skipped = true
-				t.Cells[r.label][c.col] = cell
-				continue
-			}
-			cl := newCluster(c.machines, c.scale, o)
-			res, err := c.run(cl)
-			if err != nil {
-				if sim.IsOOM(err) {
-					cell.Failed = true
-					cell.Notes = append(cell.Notes, err.Error())
-				} else {
-					cell.Failed = true
-					cell.Notes = append(cell.Notes, "error: "+err.Error())
-				}
-			} else {
-				cell.IterSec = res.AvgIterSec()
-				cell.InitSec = res.InitSec
-				cell.Notes = res.Notes
-			}
-			if o.Trace {
-				cell.Notes = append(cell.Notes, topPhases(cl, 5)...)
-			}
-			t.Cells[r.label][c.col] = cell
+			t.Cells[r.label][c.col] = runCell(c, r.label, o)
 		}
 	}
 	return t
@@ -147,6 +195,7 @@ func Figures(o Options) []*Figure {
 		fig4a(o), fig4b(o),
 		fig5(o),
 		fig6(o),
+		fig7(o), fig7b(o), fig7c(o),
 	}
 }
 
@@ -494,23 +543,36 @@ func fig6(o Options) *Figure {
 }
 
 // topPhases summarizes the n most expensive phases of a traced cluster
-// run, merging phases with the same name.
+// run, merging phases with the same name. Each line carries the phase's
+// total virtual time, its communication share, and its task count.
 func topPhases(cl *sim.Cluster, n int) []string {
-	totals := map[string]float64{}
+	type agg struct {
+		sec   float64
+		comm  float64
+		tasks int
+	}
+	totals := map[string]*agg{}
 	for _, ph := range cl.Trace {
-		totals[ph.Name] += ph.Seconds
+		a := totals[ph.Name]
+		if a == nil {
+			a = &agg{}
+			totals[ph.Name] = a
+		}
+		a.sec += ph.Seconds
+		a.comm += ph.CommSec
+		a.tasks += ph.Tasks
 	}
 	type kv struct {
 		name string
-		sec  float64
+		agg  *agg
 	}
 	var all []kv
-	for name, sec := range totals {
-		all = append(all, kv{name, sec})
+	for name, a := range totals {
+		all = append(all, kv{name, a})
 	}
 	sort.Slice(all, func(i, j int) bool {
-		if all[i].sec != all[j].sec {
-			return all[i].sec > all[j].sec
+		if all[i].agg.sec != all[j].agg.sec {
+			return all[i].agg.sec > all[j].agg.sec
 		}
 		return all[i].name < all[j].name
 	})
@@ -519,7 +581,8 @@ func topPhases(cl *sim.Cluster, n int) []string {
 	}
 	out := make([]string, 0, len(all))
 	for _, e := range all {
-		out = append(out, fmt.Sprintf("phase %-28s %s", e.name, FormatDuration(e.sec)))
+		out = append(out, fmt.Sprintf("phase %-28s %s  comm %s  tasks %d",
+			e.name, FormatDuration(e.agg.sec), FormatDuration(e.agg.comm), e.agg.tasks))
 	}
 	return out
 }

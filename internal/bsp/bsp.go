@@ -86,11 +86,23 @@ type Graph struct {
 	shared      map[string]any
 	sharedBytes map[string]int64
 	sharedAlloc int64 // per-machine resident bytes for shared values
+
+	// Fault-recovery state (see recover.go): checkpoint every ckptEvery
+	// supersteps; a crash rolls the whole cluster back to the last
+	// checkpoint (or a reload) and replays the supersteps since.
+	ckptEvery      int
+	loadSec        float64   // measured graph-load time (restart basis)
+	stepSecs       []float64 // superstep durations since last checkpoint
+	ckptRestoreSec float64
+	haveCkpt       bool
 }
 
-// NewGraph creates an empty BSP graph on the cluster.
+// NewGraph creates an empty BSP graph on the cluster. The graph owns crash
+// recovery for its cluster: checkpoint rollback and superstep replay
+// (recover.go), with the checkpoint interval initialized from the cluster
+// config's Recovery.BSPCheckpointEvery.
 func NewGraph(c *sim.Cluster) *Graph {
-	return &Graph{
+	g := &Graph{
 		c:           c,
 		verts:       ordmap.New[VertexID, *Vertex](),
 		byMach:      make([][]*Vertex, c.NumMachines()),
@@ -99,7 +111,10 @@ func NewGraph(c *sim.Cluster) *Graph {
 		aggCur:      map[string]float64{},
 		shared:      map[string]any{},
 		sharedBytes: map[string]int64{},
+		ckptEvery:   c.Config().Recovery.BSPCheckpointEvery,
 	}
+	c.SetFaultHandler(g.handleFault)
+	return g
 }
 
 // SetCombiner installs a sender-side message combiner.
@@ -137,6 +152,7 @@ func (g *Graph) Load() error {
 	if g.loaded {
 		return nil
 	}
+	t0, rec0 := g.c.Now(), recoveredSec(g.c)
 	err := g.c.RunPhaseF("bsp-load", func(machine int, m *sim.Meter) error {
 		m.SetProfile(sim.ProfileJava)
 		for _, v := range g.byMach[machine] {
@@ -162,6 +178,7 @@ func (g *Graph) Load() error {
 		return err
 	}
 	g.loaded = true
+	g.loadSec = (g.c.Now() - t0) - (recoveredSec(g.c) - rec0)
 	return nil
 }
 
@@ -275,6 +292,12 @@ func (g *Graph) RunSuperstep(compute Compute) error {
 		return fmt.Errorf("bsp: RunSuperstep before Load")
 	}
 	cost := g.c.Config().Cost
+	if g.ckptEvery > 0 && g.step > 0 && g.step%g.ckptEvery == 0 {
+		if err := g.checkpoint(); err != nil {
+			return err
+		}
+	}
+	t0, rec0 := g.c.Now(), recoveredSec(g.c)
 	g.c.Advance(cost.BSPSuperstep)
 	machines := g.c.NumMachines()
 	inflight := float64(machines) / (float64(machines) + cost.BSPInflightHalfM)
@@ -360,6 +383,9 @@ func (g *Graph) RunSuperstep(compute Compute) error {
 	if err := g.settleShared(); err != nil {
 		return err
 	}
+	// Record the superstep's duration (minus any recovery settled within
+	// it) as rollback-replay basis.
+	g.stepSecs = append(g.stepSecs, (g.c.Now()-t0)-(recoveredSec(g.c)-rec0))
 	g.step++
 	return nil
 }

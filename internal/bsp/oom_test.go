@@ -1,0 +1,51 @@
+package bsp
+
+import (
+	"testing"
+
+	"mlbench/internal/sim"
+)
+
+// The engine's two allocation sites must both surface simulated OOM as
+// sim.OOMError through the public run path, like the paper's Giraph runs
+// that died loading big vertices or buffering messages.
+
+func TestLoadOOM(t *testing.T) {
+	cfg := sim.DefaultConfig(2)
+	cfg.Scale = 1000
+	cfg.MemBytes = 4 << 20
+	g := NewGraph(sim.New(cfg))
+	for i := 0; i < 10; i++ {
+		g.AddVertex(VertexID(i), nil, 1<<20, true, -1) // 1 MB x 1000 scale
+	}
+	if err := g.Load(); !sim.IsOOM(err) {
+		t.Fatalf("expected load OOM, got %v", err)
+	}
+}
+
+func TestMessageBufferOOM(t *testing.T) {
+	cfg := sim.DefaultConfig(2)
+	cfg.Scale = 10_000
+	cfg.MemBytes = 4 << 20
+	g := NewGraph(sim.New(cfg))
+	g.AddVertex(0, nil, 8, false, 0)
+	for i := 1; i <= 8; i++ {
+		g.AddVertex(VertexID(i), nil, 8, true, -1)
+	}
+	if err := g.Load(); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.RunSuperstep(func(ctx *Context, v *Vertex, msgs []Msg) error {
+		if v.ID != 0 {
+			ctx.Send(0, float64(v.ID), 1<<10) // 1 KB x 10k scale per sender
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// The buffers are resident in the delivering superstep.
+	err := g.RunSuperstep(func(ctx *Context, v *Vertex, msgs []Msg) error { return nil })
+	if !sim.IsOOM(err) {
+		t.Fatalf("expected message-buffer OOM, got %v", err)
+	}
+}

@@ -1,0 +1,97 @@
+package bsp
+
+import (
+	"testing"
+
+	"mlbench/internal/faults"
+	"mlbench/internal/sim"
+)
+
+func faultGraph(machines int, sched *faults.Schedule, ckptEvery int) *Graph {
+	cfg := sim.DefaultConfig(machines)
+	cfg.Scale = 10
+	cfg.Faults = sched
+	cfg.Recovery.BSPCheckpointEvery = ckptEvery
+	g := NewGraph(sim.New(cfg))
+	for i := 0; i < 40; i++ {
+		g.AddVertex(VertexID(i), 0.0, 1<<20, true, i%machines)
+	}
+	return g
+}
+
+// spin runs n supersteps in which every vertex does fixed work.
+func spin(t *testing.T, g *Graph, n int) {
+	t.Helper()
+	if err := g.Load(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		err := g.RunSuperstep(func(ctx *Context, v *Vertex, msgs []Msg) error {
+			ctx.Meter().ChargeLinalg(1, 1000, 10)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// rollbackSec injects one crash during superstep `at` of n and returns the
+// recovery time charged.
+func rollbackSec(t *testing.T, n, crashStep, ckptEvery int) float64 {
+	t.Helper()
+	// Probe a clean run to learn superstep timing.
+	probe := faultGraph(4, nil, ckptEvery)
+	spin(t, probe, n)
+	stepSec := probe.c.Now() / float64(n)
+
+	g := faultGraph(4, faults.NewSchedule(faults.CrashAt(2, (float64(crashStep)+0.5)*stepSec)), ckptEvery)
+	spin(t, g, n)
+	log := g.c.Faults()
+	if len(log) != 1 {
+		t.Fatalf("observed %d faults, want 1", len(log))
+	}
+	return log[0].RecoverySec
+}
+
+func TestRollbackGrowsWithSuperstepsSinceCheckpoint(t *testing.T) {
+	early := rollbackSec(t, 12, 2, 0)
+	late := rollbackSec(t, 12, 10, 0)
+	if late <= early {
+		t.Errorf("rollback did not grow with supersteps replayed: step 2 = %v, step 10 = %v", early, late)
+	}
+}
+
+func TestCheckpointBoundsRollback(t *testing.T) {
+	un := rollbackSec(t, 12, 10, 0)
+	ck := rollbackSec(t, 12, 10, 3)
+	if ck >= un {
+		t.Errorf("checkpointing did not bound rollback: uncheckpointed = %v, every-3 = %v", un, ck)
+	}
+}
+
+func TestCheckpointingCostsSteadyStateTime(t *testing.T) {
+	plain := faultGraph(4, nil, 0)
+	spin(t, plain, 10)
+	ckpt := faultGraph(4, nil, 2)
+	spin(t, ckpt, 10)
+	if ckpt.c.Now() <= plain.c.Now() {
+		t.Errorf("checkpoint writes are free: with = %v, without = %v", ckpt.c.Now(), plain.c.Now())
+	}
+}
+
+func TestRollbackWithoutCheckpointReplaysFromLoad(t *testing.T) {
+	// A crash in a late superstep with no checkpointing must cost at least
+	// the whole computation so far (reload + full replay).
+	g := faultGraph(4, nil, 0)
+	spin(t, g, 8)
+	clean := g.c.Now()
+
+	stepSec := clean / 8
+	crashed := faultGraph(4, faults.NewSchedule(faults.CrashAt(1, 7.5*stepSec)), 0)
+	spin(t, crashed, 8)
+	rec := crashed.c.Faults()[0].RecoverySec
+	if rec < 0.8*clean {
+		t.Errorf("full restart too cheap: recovery %v vs clean run %v", rec, clean)
+	}
+}

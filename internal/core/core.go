@@ -34,6 +34,35 @@ type Table = bench.Table
 // Cell is one measured table cell.
 type Cell = bench.Cell
 
+// FaultConfig configures deterministic fault injection — machine crashes,
+// stragglers, and the engines' checkpointing policies; see
+// bench.FaultConfig. Set it on Options.Faults (or Experiment.Faults).
+type FaultConfig = bench.FaultConfig
+
+// Experiment is one reproducible benchmark run: a figure plus the options
+// and fault schedule to run it with. The zero Faults value reproduces the
+// paper's failure-free runs; identical fields always produce
+// byte-identical tables.
+type Experiment struct {
+	// Figure is the figure ID to run (see FigureIDs; the fig7 family
+	// measures recovery under injected failures).
+	Figure string
+	// Options tunes the run; its Faults field is overridden by the
+	// Experiment's own Faults when that is active.
+	Options Options
+	// Faults injects machine crashes and stragglers into every cell.
+	Faults FaultConfig
+}
+
+// Run executes the experiment and returns its table.
+func (e Experiment) Run() (*Table, error) {
+	opts := e.Options
+	if e.Faults.Active() {
+		opts.Faults = e.Faults
+	}
+	return RunFigure(e.Figure, opts)
+}
+
 // FigureIDs lists every runnable figure of the paper's evaluation, in
 // paper order.
 func FigureIDs() []string {

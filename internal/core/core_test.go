@@ -4,11 +4,35 @@ import "testing"
 
 func TestFigureIDs(t *testing.T) {
 	ids := FigureIDs()
-	if len(ids) != 10 {
+	if len(ids) != 13 {
 		t.Fatalf("got %d figure ids: %v", len(ids), ids)
 	}
-	if ids[0] != "fig1a" || ids[len(ids)-1] != "fig6" {
+	if ids[0] != "fig1a" || ids[len(ids)-1] != "fig7c" {
 		t.Errorf("unexpected ordering: %v", ids)
+	}
+}
+
+func TestExperimentRun(t *testing.T) {
+	tbl, err := Experiment{
+		Figure:  "fig6",
+		Options: Options{Iterations: 1},
+		Faults:  FaultConfig{Failures: 1},
+	}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := tbl.Cells["Spark (Java)"]["5m"]
+	if cell.Failed || cell.IterSec <= 0 {
+		t.Fatalf("5m cell should succeed under one crash: %+v", cell)
+	}
+	var noted bool
+	for _, n := range cell.Notes {
+		if len(n) > 6 && n[:6] == "fault:" {
+			noted = true
+		}
+	}
+	if !noted {
+		t.Errorf("experiment with faults recorded no fault note: %v", cell.Notes)
 	}
 }
 

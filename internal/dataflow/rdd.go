@@ -26,12 +26,22 @@ type Context struct {
 	// driverHeld tracks simulated bytes resident on the driver (machine 0)
 	// from collects and broadcast variables.
 	driverHeld int64
+	// recov lists materialized RDDs in materialization order, for
+	// lineage-based fault recovery (see recover.go).
+	recov []recoverable
+	// bcastBytes is the per-machine footprint of live broadcast variables,
+	// re-shipped to a replacement executor after a crash.
+	bcastBytes int64
 }
 
 // NewContext returns a driver context running user code under the given
 // language profile (ProfilePython for PySpark, ProfileJava for Spark-Java).
+// The context owns crash recovery for its cluster: lost partitions are
+// rebuilt from lineage (recover.go).
 func NewContext(c *sim.Cluster, profile sim.Profile) *Context {
-	return &Context{cluster: c, profile: profile}
+	ctx := &Context{cluster: c, profile: profile}
+	c.SetFaultHandler(ctx.handleFault)
+	return ctx
 }
 
 // Cluster returns the underlying simulated cluster.
@@ -68,12 +78,16 @@ func (ctx *Context) DriverHeld() int64 { return ctx.driverHeld }
 // copies are charged and stay resident until ReleaseBroadcast.
 func (ctx *Context) Broadcast(bytes int64, what string) error {
 	n := ctx.cluster.NumMachines()
-	return ctx.cluster.RunPhaseF("broadcast "+what, func(machine int, m *sim.Meter) error {
+	err := ctx.cluster.RunPhaseF("broadcast "+what, func(machine int, m *sim.Meter) error {
 		if n > 1 {
 			m.SendModel((machine+1)%n, float64(bytes)) // relay ring
 		}
 		return m.AllocModel(bytes, "broadcast: "+what)
 	})
+	if err == nil {
+		ctx.bcastBytes += bytes
+	}
+	return err
 }
 
 // ReleaseBroadcast frees the per-machine copies of a broadcast value.
@@ -81,6 +95,7 @@ func (ctx *Context) ReleaseBroadcast(bytes int64) {
 	for i := 0; i < ctx.cluster.NumMachines(); i++ {
 		ctx.cluster.Machine(i).Free(bytes)
 	}
+	ctx.bcastBytes -= bytes
 }
 
 // StorageLevel selects where a persisted RDD lives, mirroring Spark's
@@ -125,6 +140,14 @@ type RDD[T any] struct {
 	haveMat   bool
 	isSource  bool
 	sourceGen func(p int, r *randgen.RNG, m *sim.Meter) []T
+
+	// Fault-recovery state (see recover.go): ckpt marks a replicated
+	// checkpoint that survives crashes; buildSec is what materialization
+	// cost (the recovery basis for shuffle outputs); registered guards
+	// one-time entry into the context's recovery registry.
+	ckpt       bool
+	buildSec   float64
+	registered bool
 }
 
 // rddBase is the type-erased view used for lineage walks.
@@ -144,17 +167,22 @@ func (r *RDD[T]) base() *rddMeta {
 }
 
 // ensureUpstream materializes, in dependency order, every unmaterialized
-// wide RDD at or above r.
+// wide or persisted RDD at or above r — the first action that computes a
+// persisted ancestor pins it, as in Spark.
 func (r *RDD[T]) ensureUpstream() error {
 	for _, p := range r.parents {
 		if err := p.ensureUpstream(); err != nil {
 			return err
 		}
 	}
-	if r.wide != nil && !r.haveMat {
-		if err := r.wide(); err != nil {
-			return err
-		}
+	if r.haveMat {
+		return nil
+	}
+	if r.wide != nil {
+		return r.wide()
+	}
+	if r.storage != StorageNone {
+		return r.materializeAll()
 	}
 	return nil
 }
@@ -244,12 +272,15 @@ func (r *RDD[T]) materializeAll() error {
 	if r.haveMat {
 		return nil
 	}
-	if err := r.ensureUpstream(); err != nil {
-		return err
+	for _, p := range r.parents {
+		if err := p.ensureUpstream(); err != nil {
+			return err
+		}
 	}
 	mat := make([][]T, r.parts)
 	bytes := make([]int64, r.parts)
 	c := r.ctx.cluster
+	t0 := c.Now()
 	c.Advance(c.Config().Cost.SparkJobLaunch)
 	err := c.RunPhase("materialize "+r.name, r.partTasks(func(p int, m *sim.Meter) error {
 		data, err := r.partition(p, m)
@@ -266,6 +297,12 @@ func (r *RDD[T]) materializeAll() error {
 			}
 		case StorageDisk:
 			m.ChargeSec(float64(b) / c.Config().Cost.DiskBytesPerSec)
+			if r.ckpt {
+				// Checkpoints replicate: one more local write plus a copy
+				// shipped to a peer, as HDFS-backed checkpoint files do.
+				m.ChargeSec(float64(b) / c.Config().Cost.DiskBytesPerSec)
+				m.SendModel((r.ctx.machineFor(p)+1)%c.NumMachines(), float64(b))
+			}
 		}
 		return nil
 	}))
@@ -273,6 +310,7 @@ func (r *RDD[T]) materializeAll() error {
 		return err
 	}
 	r.mat, r.matBytes, r.haveMat = mat, bytes, true
+	r.noteMaterialized(c.Now() - t0)
 	if r.storage == StorageNone {
 		// Materialized only as a shuffle output: memory is transient
 		// shuffle space, already charged by the shuffle itself.

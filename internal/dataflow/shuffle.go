@@ -76,6 +76,7 @@ func Join[K comparable, V, W any](a *RDD[Pair[K, V]], b *RDD[Pair[K, W]]) *RDD[P
 	}
 	out.wide = func() error {
 		c := a.ctx.cluster
+		t0 := c.Now()
 		c.Advance(c.Config().Cost.SparkJobLaunch)
 
 		type sides struct {
@@ -162,6 +163,7 @@ func Join[K comparable, V, W any](a *RDD[Pair[K, V]], b *RDD[Pair[K, W]]) *RDD[P
 			return err
 		}
 		out.mat, out.haveMat = mat, true
+		out.noteMaterialized(c.Now() - t0)
 		return nil
 	}
 	return out
@@ -180,6 +182,7 @@ func runShuffle[K comparable, V, A, O any](
 ) error {
 	c := in.ctx.cluster
 	cost := c.Config().Cost
+	t0 := c.Now()
 	c.Advance(cost.SparkJobLaunch)
 
 	reducers := make([]*omap[K, A], out.parts)
@@ -258,6 +261,7 @@ func runShuffle[K comparable, V, A, O any](
 		return err
 	}
 	out.mat, out.haveMat = mat, true
+	out.noteMaterialized(c.Now() - t0)
 	return nil
 }
 

@@ -160,6 +160,14 @@ type Graph struct {
 	machines int // effective machines after the boot clamp
 	clamped  bool
 	loaded   bool
+
+	// Fault-recovery state (see recover.go): asynchronous snapshots every
+	// snapEvery rounds; a crash restores only the victim's subgraph.
+	snapEvery int
+	rounds    int
+	loadSec   float64   // measured graph-load time (restart basis)
+	roundSecs []float64 // round durations since the last snapshot
+	haveSnap  bool
 }
 
 // NewGraph creates a graph. If the cluster exceeds the cost model's
@@ -173,14 +181,17 @@ func NewGraph(c *sim.Cluster, edges EdgeSet) *Graph {
 		machines = max
 		clamped = true
 	}
-	return &Graph{
-		c:        c,
-		verts:    ordmap.New[VertexID, *Vertex](),
-		byMach:   make([][]*Vertex, machines),
-		edges:    edges,
-		machines: machines,
-		clamped:  clamped,
+	g := &Graph{
+		c:         c,
+		verts:     ordmap.New[VertexID, *Vertex](),
+		byMach:    make([][]*Vertex, machines),
+		edges:     edges,
+		machines:  machines,
+		clamped:   clamped,
+		snapEvery: c.Config().Recovery.GASSnapshotEvery,
 	}
+	c.SetFaultHandler(g.handleFault)
+	return g
 }
 
 // Clamped reports whether the boot clamp reduced the effective machine
@@ -230,6 +241,7 @@ func (g *Graph) Load() error {
 	if g.loaded {
 		return nil
 	}
+	t0, rec0 := g.c.Now(), recoveredSec(g.c)
 	err := g.c.RunPhaseF("gas-load", func(machine int, m *sim.Meter) error {
 		if machine >= g.machines {
 			return nil
@@ -264,6 +276,7 @@ func (g *Graph) Load() error {
 		return err
 	}
 	g.loaded = true
+	g.loadSec = (g.c.Now() - t0) - (recoveredSec(g.c) - rec0)
 	return nil
 }
 
@@ -274,6 +287,12 @@ func (g *Graph) RunRound(prog Program, active []VertexID) error {
 	if !g.loaded {
 		return fmt.Errorf("gas: RunRound before Load")
 	}
+	if g.snapEvery > 0 && g.rounds > 0 && g.rounds%g.snapEvery == 0 {
+		if err := g.snapshot(); err != nil {
+			return err
+		}
+	}
+	t0, rec0 := g.c.Now(), recoveredSec(g.c)
 	g.c.Advance(g.c.Config().Cost.GASRound)
 
 	actByMach := make([][]*Vertex, g.machines)
@@ -377,6 +396,12 @@ func (g *Graph) RunRound(prog Program, active []VertexID) error {
 		return nil
 	})
 	g.freeGather(gatherAlloc)
+	if err == nil {
+		// Record the round's duration (minus any recovery settled within
+		// it) as replay basis for snapshot restore.
+		g.roundSecs = append(g.roundSecs, (g.c.Now()-t0)-(recoveredSec(g.c)-rec0))
+		g.rounds++
+	}
 	return err
 }
 

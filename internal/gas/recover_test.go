@@ -1,0 +1,100 @@
+package gas
+
+import (
+	"testing"
+
+	"mlbench/internal/faults"
+	"mlbench/internal/sim"
+)
+
+func faultStarGraph(machines, leaves int, sched *faults.Schedule, snapEvery int) *Graph {
+	cfg := sim.DefaultConfig(machines)
+	cfg.Scale = 10
+	cfg.Faults = sched
+	cfg.Recovery.GASSnapshotEvery = snapEvery
+	return buildStarGraph(sim.New(cfg), leaves)
+}
+
+// spinRounds loads the graph and runs n gather-apply rounds.
+func spinRounds(t *testing.T, g *Graph, n int) {
+	t.Helper()
+	if err := g.Load(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := g.RunRound(sumProg{viewBytes: 1 << 16}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// crashRecoverySec injects one crash mid-run and returns the recovery time
+// charged for it.
+func crashRecoverySec(t *testing.T, snapEvery int) float64 {
+	t.Helper()
+	probe := faultStarGraph(3, 30, nil, snapEvery)
+	spinRounds(t, probe, 12)
+	roundSec := probe.c.Now() / 12
+
+	g := faultStarGraph(3, 30, faults.NewSchedule(faults.CrashAt(1, 10.5*roundSec)), snapEvery)
+	spinRounds(t, g, 12)
+	log := g.c.Faults()
+	if len(log) != 1 {
+		t.Fatalf("observed %d faults, want 1", len(log))
+	}
+	return log[0].RecoverySec
+}
+
+func TestSnapshotRestoreCheaperThanRestart(t *testing.T) {
+	restart := crashRecoverySec(t, 0)
+	snap := crashRecoverySec(t, 3)
+	if snap >= restart {
+		t.Errorf("snapshot restore not cheaper than restart: snapshot = %v, restart = %v", snap, restart)
+	}
+}
+
+func TestNoGlobalRollback(t *testing.T) {
+	// With snapshots every 3 rounds and a crash in round 10, at most 2
+	// rounds are replayed — and only at the replay fraction, because the
+	// survivors keep their live state. Recovery must come in well under a
+	// full 2-round global rollback (plus detection and state restore).
+	probe := faultStarGraph(3, 30, nil, 3)
+	spinRounds(t, probe, 12)
+	roundSec := probe.c.Now() / 12
+
+	rec := crashRecoverySec(t, 3)
+	cost := probe.c.Config().Cost
+	budget := cost.FaultDetectSec + 2*roundSec*cost.GASReplayFrac + 1
+	if rec > budget {
+		t.Errorf("recovery %v exceeds partial-replay budget %v (global 2-round rollback would be %v)",
+			rec, budget, cost.FaultDetectSec+2*roundSec)
+	}
+}
+
+func TestSnapshotsCostSteadyStateTime(t *testing.T) {
+	plain := faultStarGraph(3, 30, nil, 0)
+	spinRounds(t, plain, 12)
+	snap := faultStarGraph(3, 30, nil, 2)
+	spinRounds(t, snap, 12)
+	if snap.c.Now() <= plain.c.Now() {
+		t.Errorf("snapshots are free: with = %v, without = %v", snap.c.Now(), plain.c.Now())
+	}
+}
+
+func TestClampedSpareCrashIsCheap(t *testing.T) {
+	// On a cluster larger than the boot clamp, a crash of a machine beyond
+	// the clamp loses no graph state: recovery is detection only.
+	cfg := sim.DefaultConfig(100)
+	cfg.Scale = 10
+	cfg.Cost.GASBootMaxMachines = 8
+	cfg.Faults = faults.NewSchedule(faults.CrashAt(50, 1))
+	g := buildStarGraph(sim.New(cfg), 200)
+	spinRounds(t, g, 4)
+	log := g.c.Faults()
+	if len(log) != 1 {
+		t.Fatalf("observed %d faults, want 1", len(log))
+	}
+	if rec := log[0].RecoverySec; rec != cfg.Cost.FaultDetectSec {
+		t.Errorf("spare-machine recovery = %v, want detection only (%v)", rec, cfg.Cost.FaultDetectSec)
+	}
+}

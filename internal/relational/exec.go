@@ -16,11 +16,19 @@ type Engine struct {
 	c    *sim.Cluster
 	root *randgen.RNG
 	seq  uint64 // distinguishes VG invocations across queries/iterations
+	// recoveries counts MapReduce task re-executions after machine crashes
+	// (see recover.go).
+	recoveries int
 }
 
-// NewEngine creates an engine on the cluster.
+// NewEngine creates an engine on the cluster. The engine owns crash
+// recovery for its cluster — MapReduce task re-execution — and enables
+// speculative execution, which caps straggler slowdown (recover.go).
 func NewEngine(c *sim.Cluster) *Engine {
-	return &Engine{c: c, root: randgen.New(c.Config().Seed ^ 0x51351c1)}
+	e := &Engine{c: c, root: randgen.New(c.Config().Seed ^ 0x51351c1)}
+	c.SetFaultHandler(e.handleFault)
+	c.SetStragglerCap(c.Config().Cost.MRSpecExecCap)
+	return e
 }
 
 // Cluster returns the underlying simulated cluster.

@@ -58,6 +58,30 @@ type CostModel struct {
 	// Giraph vertex state and buffered messages (boxed values, headers,
 	// references). Calibrated against the paper's Giraph failures.
 	BSPHeapFactor float64
+	// FaultDetectSec is the failure-detection latency charged per observed
+	// machine crash (heartbeat timeout before the master declares the
+	// worker dead). It is paid before any engine recovery cost.
+	FaultDetectSec float64
+	// MRTaskRetrySec is the scheduling latency of re-launching one failed
+	// Hadoop task attempt. Task-level re-execution is the MR fault-
+	// tolerance story: only the dead worker's in-flight task re-runs, at
+	// task (not job) launch cost.
+	MRTaskRetrySec float64
+	// MRSpecExecCap bounds the effective straggler slowdown under
+	// Hadoop's speculative execution: a backup attempt starts elsewhere,
+	// so a phase pays at most this multiple of the straggler's normal
+	// time. Applied by the relational engine via SetStragglerCap.
+	MRSpecExecCap float64
+	// GASSnapshotAsyncFrac is the fraction of a snapshot's serialization
+	// time that surfaces as wall time: GraphLab's Chandy-Lamport snapshot
+	// runs asynchronously alongside computation, so most of the write
+	// overlaps useful work.
+	GASSnapshotAsyncFrac float64
+	// GASReplayFrac scales the re-execution of rounds since the last
+	// snapshot when a GraphLab machine is restored: only the failed
+	// machine's subgraph replays (no global rollback) while its peers'
+	// state stays live, and replayed gathers find warm ghost caches.
+	GASReplayFrac float64
 	// BSPInflightHalfM controls how much of a superstep's per-vertex
 	// message traffic is resident in receiver heaps simultaneously:
 	// fraction = M / (M + BSPInflightHalfM) for an M-machine cluster.
@@ -87,6 +111,11 @@ func DefaultCostModel() CostModel {
 		SQLCombineSec:        0.8e-6,
 		BSPHeapFactor:        4,
 		BSPInflightHalfM:     120,
+		FaultDetectSec:       10,
+		MRTaskRetrySec:       3,
+		MRSpecExecCap:        2,
+		GASSnapshotAsyncFrac: 0.25,
+		GASReplayFrac:        0.6,
 	}
 }
 

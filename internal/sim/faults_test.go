@@ -1,0 +1,188 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+
+	"mlbench/internal/faults"
+)
+
+// faultTestConfig zeroes the framework overheads so phase durations are
+// exactly the charged compute seconds.
+func faultTestConfig(machines int) Config {
+	cfg := testConfig(machines)
+	cfg.Scale = 1
+	cfg.Cores = 1
+	cfg.Net = Network{LatencySec: 0, BytesPerSec: 1e12}
+	return cfg
+}
+
+// chargeAll runs one phase charging sec serial seconds on every machine.
+func chargeAll(c *Cluster, name string, sec float64) error {
+	return c.RunPhaseF(name, func(machine int, m *Meter) error {
+		m.ChargeSerialSec(sec)
+		return nil
+	})
+}
+
+func TestCrashObservedAtCoveringPhaseEnd(t *testing.T) {
+	cfg := faultTestConfig(4)
+	cfg.Cost.FaultDetectSec = 7
+	cfg.Faults = faults.NewSchedule(faults.CrashAt(2, 15))
+	c := New(cfg)
+	if err := chargeAll(c, "p1", 10); err != nil { // clock 0 -> 10: no fault
+		t.Fatal(err)
+	}
+	if len(c.Faults()) != 0 {
+		t.Fatalf("fault observed too early: %+v", c.Faults())
+	}
+	if err := chargeAll(c, "p2", 10); err != nil { // clock 10 -> 20: crash at 15 observed
+		t.Fatal(err)
+	}
+	log := c.Faults()
+	if len(log) != 1 {
+		t.Fatalf("faults observed = %d, want 1", len(log))
+	}
+	f := log[0]
+	if f.Phase != "p2" || f.Event.Machine != 2 {
+		t.Errorf("fault attribution: %+v", f)
+	}
+	if f.ObservedAt != 20 {
+		t.Errorf("ObservedAt = %v, want 20", f.ObservedAt)
+	}
+	// The crash at t=15 lost half of the victim's 10s phase work.
+	if f.LostSec < 4.9 || f.LostSec > 5.1 {
+		t.Errorf("LostSec = %v, want ~5", f.LostSec)
+	}
+	// Detection latency was charged even with no handler installed.
+	if c.Now() != 27 {
+		t.Errorf("clock = %v, want 20 + 7 detection", c.Now())
+	}
+	if f.RecoverySec != 7 {
+		t.Errorf("RecoverySec = %v, want 7 (detection only)", f.RecoverySec)
+	}
+}
+
+func TestFaultHandlerChargesRecovery(t *testing.T) {
+	cfg := faultTestConfig(2)
+	cfg.Cost.FaultDetectSec = 1
+	cfg.Faults = faults.NewSchedule(faults.CrashAt(1, 5))
+	c := New(cfg)
+	var got FaultInfo
+	c.SetFaultHandler(func(f FaultInfo) error {
+		got = f
+		c.Advance(100) // modelled recovery cost
+		return nil
+	})
+	if err := chargeAll(c, "work", 10); err != nil {
+		t.Fatal(err)
+	}
+	if got.Event.Machine != 1 {
+		t.Fatalf("handler not invoked: %+v", got)
+	}
+	if c.Now() != 111 { // 10 phase + 1 detect + 100 recovery
+		t.Errorf("clock = %v, want 111", c.Now())
+	}
+	if rec := c.Faults()[0].RecoverySec; rec != 101 {
+		t.Errorf("RecoverySec = %v, want 101", rec)
+	}
+}
+
+func TestFaultHandlerErrorAbortsPhase(t *testing.T) {
+	cfg := faultTestConfig(2)
+	cfg.Faults = faults.NewSchedule(faults.CrashAt(1, 5))
+	c := New(cfg)
+	boom := errors.New("recovery exhausted memory")
+	c.SetFaultHandler(func(FaultInfo) error { return boom })
+	if err := chargeAll(c, "work", 10); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want recovery error", err)
+	}
+}
+
+func TestRecoveryPhasesDoNotRefireFaults(t *testing.T) {
+	cfg := faultTestConfig(2)
+	// Two crashes; the second is crossed while the first one's recovery
+	// phases run. It must be observed by the settling loop, exactly once.
+	cfg.Faults = faults.NewSchedule(faults.CrashAt(1, 5), faults.CrashAt(1, 12))
+	c := New(cfg)
+	calls := 0
+	c.SetFaultHandler(func(FaultInfo) error {
+		calls++
+		return chargeAll(c, "recover", 50) // nested phase crosses t=12
+	})
+	if err := chargeAll(c, "work", 10); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 2 {
+		t.Errorf("handler calls = %d, want 2", calls)
+	}
+	if len(c.Faults()) != 2 {
+		t.Errorf("observed = %d, want 2", len(c.Faults()))
+	}
+}
+
+func TestStragglerInflatesVictimCompute(t *testing.T) {
+	run := func(sched *faults.Schedule, cap float64) float64 {
+		cfg := faultTestConfig(3)
+		cfg.Faults = sched
+		c := New(cfg)
+		c.SetStragglerCap(cap)
+		if err := chargeAll(c, "work", 10); err != nil {
+			t.Fatal(err)
+		}
+		return c.Now()
+	}
+	if base := run(nil, 0); base != 10 {
+		t.Fatalf("baseline = %v, want 10", base)
+	}
+	// A 3x straggler from t=0 makes the slowest machine 30s.
+	if got := run(faults.NewSchedule(faults.StraggleAt(1, 0, 0, 3)), 0); got != 30 {
+		t.Errorf("straggled = %v, want 30", got)
+	}
+	// Speculative execution caps the slowdown at 2x.
+	if got := run(faults.NewSchedule(faults.StraggleAt(1, 0, 0, 3)), 2); got != 20 {
+		t.Errorf("capped = %v, want 20", got)
+	}
+	// A window that ended before the phase has no effect.
+	sched := faults.NewSchedule(faults.StraggleAt(1, 0, 1, 3))
+	cfg := faultTestConfig(3)
+	cfg.Faults = sched
+	c := New(cfg)
+	c.Advance(5)
+	if err := chargeAll(c, "late", 10); err != nil {
+		t.Fatal(err)
+	}
+	if c.Now() != 15 {
+		t.Errorf("expired straggle window still applied: clock = %v, want 15", c.Now())
+	}
+}
+
+func TestInjectionIsDeterministic(t *testing.T) {
+	run := func() []float64 {
+		cfg := faultTestConfig(5)
+		cfg.Faults = faults.NewSchedule(
+			faults.CrashAt(2, 7),
+			faults.StraggleAt(3, 12, 20, 2.5),
+			faults.CrashAt(4, 33),
+		)
+		c := New(cfg)
+		c.SetFaultHandler(func(f FaultInfo) error {
+			c.Advance(2 * f.LostSec)
+			return nil
+		})
+		var marks []float64
+		for i := 0; i < 6; i++ {
+			if err := chargeAll(c, "iter", 8); err != nil {
+				t.Fatal(err)
+			}
+			marks = append(marks, c.Now())
+		}
+		return marks
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic clock at phase %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

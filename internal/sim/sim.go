@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"math"
 
+	"mlbench/internal/faults"
 	"mlbench/internal/randgen"
 )
 
@@ -56,6 +57,11 @@ type Config struct {
 	Cost     CostModel
 	Seed     uint64
 	Trace    bool // record per-phase statistics in Cluster.Trace
+	// Faults is the deterministic fault-injection schedule (nil = none);
+	// see internal/faults and this package's faults.go.
+	Faults *faults.Schedule
+	// Recovery carries the engines' checkpoint/snapshot policies.
+	Recovery RecoveryConfig
 }
 
 // DefaultConfig returns the paper's experimental platform: m2.4xlarge
@@ -156,6 +162,15 @@ type Cluster struct {
 	machines []*Machine
 	clock    float64
 	Trace    []PhaseStat
+
+	// Fault-injection state (see faults.go).
+	crashes      []faults.Event
+	stragglers   []faults.Event
+	nextCrash    int
+	onFault      FaultHandler
+	faultLog     []FaultInfo
+	inRecovery   bool
+	stragglerCap float64
 }
 
 // New constructs a cluster. Zero-valued fields of cfg get sensible
@@ -180,6 +195,7 @@ func New(cfg Config) *Cluster {
 		cfg.Cost = DefaultCostModel()
 	}
 	c := &Cluster{cfg: cfg}
+	c.initFaults(cfg.Faults)
 	root := randgen.New(cfg.Seed)
 	c.machines = make([]*Machine, cfg.Machines)
 	for i := range c.machines {
@@ -228,7 +244,15 @@ type Task struct {
 // The first task error aborts the phase and is returned; the clock still
 // advances by the work completed so far, mimicking a failed job that dies
 // mid-flight.
+//
+// When a fault schedule is configured, straggle windows overlapping the
+// phase inflate the victim's compute time, and crashes crossed by the
+// clock during the phase are observed at its end: detection latency is
+// charged and the engine's recovery handler runs (see faults.go). A
+// recovery error — e.g. a simulated OOM while recomputing lost state —
+// is returned exactly like a task error.
 func (c *Cluster) RunPhase(name string, tasks []Task) error {
+	start := c.clock
 	perMachinePar := make([]float64, c.cfg.Machines)
 	perMachineSer := make([]float64, c.cfg.Machines)
 	taskCount := make([]int, c.cfg.Machines)
@@ -252,24 +276,42 @@ func (c *Cluster) RunPhase(name string, tasks []Task) error {
 		}
 	}
 
-	var worst, worstCompute, worstComm float64
+	// Baseline per-machine times, before straggler inflation.
+	computeSec := make([]float64, c.cfg.Machines)
+	commSec := make([]float64, c.cfg.Machines)
+	machineSec := make([]float64, c.cfg.Machines)
+	var baseWorst float64
 	active := 0
 	for i, m := range c.machines {
 		if taskCount[i] == 0 && m.phaseSent == 0 && m.phaseRecv == 0 {
 			continue
 		}
 		active++
-		compute := perMachinePar[i]/float64(c.cfg.Cores) + perMachineSer[i]
-		comm := 0.0
+		computeSec[i] = perMachinePar[i]/float64(c.cfg.Cores) + perMachineSer[i]
 		if m.phaseSent > 0 || m.phaseRecv > 0 {
 			bytes := m.phaseSent
 			if m.phaseRecv > bytes {
 				bytes = m.phaseRecv
 			}
-			comm = c.cfg.Net.LatencySec + bytes/c.cfg.Net.BytesPerSec
+			commSec[i] = c.cfg.Net.LatencySec + bytes/c.cfg.Net.BytesPerSec
 		}
-		if total := compute + comm; total > worst {
-			worst, worstCompute, worstComm = total, compute, comm
+		if total := computeSec[i] + commSec[i]; total > baseWorst {
+			baseWorst = total
+		}
+	}
+	// Injected stragglers slow their victim's compute over the phase's
+	// execution window; the barrier then waits for the slowest machine.
+	var worst, worstCompute, worstComm float64
+	for i := range c.machines {
+		if taskCount[i] == 0 && commSec[i] == 0 {
+			continue
+		}
+		if len(c.stragglers) > 0 {
+			computeSec[i] *= c.straggleFactor(i, start, start+baseWorst)
+		}
+		machineSec[i] = computeSec[i] + commSec[i]
+		if machineSec[i] > worst {
+			worst, worstCompute, worstComm = machineSec[i], computeSec[i], commSec[i]
 		}
 	}
 	straggle := 1.0
@@ -280,6 +322,11 @@ func (c *Cluster) RunPhase(name string, tasks []Task) error {
 	c.clock += dur
 	if c.cfg.Trace {
 		c.Trace = append(c.Trace, PhaseStat{Name: name, Seconds: dur, ComputeSec: worstCompute, CommSec: worstComm, Tasks: len(tasks)})
+	}
+	if firstErr == nil && len(c.crashes) > 0 {
+		if err := c.settleFaults(name, start, machineSec); err != nil {
+			return err
+		}
 	}
 	return firstErr
 }
