@@ -37,6 +37,8 @@ func main() {
 	straggle := flag.Float64("straggle", 0, "slow one machine by this factor for the whole run (>1 to enable)")
 	ckpt := flag.Int("ckpt", 0, "Giraph checkpoint interval in supersteps (0 = default 3 under faults, <0 = off)")
 	snap := flag.Int("snap", 0, "GraphLab snapshot interval in rounds (0 = default 3 under faults, <0 = off)")
+	workers := flag.Int("workers", 0, "host goroutines running simulated machines concurrently (0 = GOMAXPROCS, 1 = sequential); results are identical for any value")
+	hostbench := flag.Bool("hostbench", false, "wall-time the selected figures at 1 worker vs the full pool, write BENCH_host.json, and exit")
 	flag.Parse()
 
 	if *list {
@@ -55,8 +57,30 @@ func main() {
 	}
 
 	opts := bench.Options{Iterations: *iters, ScaleDiv: *scaleDiv, Seed: *seed, Trace: *trace,
+		HostWorkers: *workers,
 		Faults: bench.FaultConfig{Failures: *failures, FailAt: *failAt, Straggle: *straggle,
 			BSPCheckpointEvery: *ckpt, GASSnapshotEvery: *snap}}
+
+	if *hostbench {
+		ids := []string{"fig4b"}
+		if *figure != "" {
+			ids = []string{*figure}
+		}
+		records, err := bench.RunHostBench(ids, opts, "BENCH_host.json")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hostbench: %v\n", err)
+			os.Exit(1)
+		}
+		for i := 0; i+1 < len(records); i += 2 {
+			seq, par := records[i], records[i+1]
+			fmt.Printf("%s (%d machines): %d workers %.2fs wall -> %d workers %.2fs wall (%.2fx), virtual %s\n",
+				seq.Figure, seq.Machines, seq.Workers, seq.WallSec, par.Workers, par.WallSec,
+				seq.WallSec/par.WallSec, bench.FormatDuration(seq.VirtualSec))
+		}
+		fmt.Println("wrote BENCH_host.json")
+		return
+	}
+
 	var figures []*bench.Figure
 	if *figure == "" {
 		figures = bench.Figures(opts)

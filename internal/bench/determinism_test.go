@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"testing"
+)
+
+// TestWorkerCountInvariantTables is the end-to-end determinism gate for
+// host-parallel execution: whole figures — including the fault-injected
+// fig7 recovery table, whose crash schedule derives from a clean probe
+// run — must render byte-identical no matter how many host goroutines
+// execute the simulated machines. Run under -race this also sweeps the
+// engines for cross-machine data races.
+func TestWorkerCountInvariantTables(t *testing.T) {
+	for _, id := range []string{"fig1a", "fig2", "fig7"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			render := func(workers int) string {
+				o := Options{Iterations: 1, Seed: 3, HostWorkers: workers}
+				if testing.Short() {
+					// -short (the CI race run) shrinks the real per-cell
+					// arithmetic 10x; worker-count invariance is
+					// scale-independent, and full scale is far too slow
+					// under the race detector.
+					o.ScaleDiv = 0.1
+				}
+				f := FigureByID(id, o)
+				if f == nil {
+					t.Fatalf("figure %s not registered", id)
+				}
+				if testing.Short() {
+					// Likewise keep every row — all platforms, and fig7's
+					// fault schedule — but only the smallest cluster column.
+					for i := range f.rows {
+						f.rows[i].cells = f.rows[i].cells[:1]
+					}
+				}
+				return f.Run(o).Render()
+			}
+			seq, par := render(1), render(8)
+			if seq != par {
+				t.Errorf("figure %s differs between 1 and 8 host workers:\n%s\n--- vs ---\n%s", id, seq, par)
+			}
+		})
+	}
+}
+
+// TestHostBenchWritesRecords exercises the -hostbench path on a small
+// figure: two records per figure, matching worker counts, and the same
+// virtual time in both (wall time may differ; virtual time must not).
+func TestHostBenchWritesRecords(t *testing.T) {
+	path := t.TempDir() + "/BENCH_host.json"
+	o := Options{Iterations: 1, Seed: 3}
+	if testing.Short() {
+		o.ScaleDiv = 0.1
+	}
+	records, err := RunHostBench([]string{"fig6"}, o, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 2 {
+		t.Fatalf("records = %d, want 2", len(records))
+	}
+	seq, par := records[0], records[1]
+	if seq.Workers != 1 || par.Workers < 1 {
+		t.Errorf("worker counts = %d, %d", seq.Workers, par.Workers)
+	}
+	if seq.VirtualSec != par.VirtualSec {
+		t.Errorf("virtual time depends on workers: %v vs %v", seq.VirtualSec, par.VirtualSec)
+	}
+	if seq.VirtualSec <= 0 {
+		t.Errorf("virtual time = %v, want > 0", seq.VirtualSec)
+	}
+	if seq.Figure != "fig6" || seq.Machines != 100 {
+		t.Errorf("record metadata: %+v", seq)
+	}
+}

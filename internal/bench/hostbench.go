@@ -1,0 +1,94 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+)
+
+// HostBenchRecord is one row of BENCH_host.json: the real wall-clock time
+// one figure took with a given host worker count, next to the virtual
+// cluster time it simulated (which must not depend on the worker count).
+type HostBenchRecord struct {
+	Figure     string  `json:"figure"`
+	Machines   int     `json:"machines"` // largest simulated cluster in the figure
+	Workers    int     `json:"workers"`
+	HostCPUs   int     `json:"host_cpus"` // wall-clock speedup is bounded by this
+	WallSec    float64 `json:"wall_sec"`
+	VirtualSec float64 `json:"virtual_sec"`
+}
+
+// maxMachines returns the largest cell cluster in the figure.
+func (f *Figure) maxMachines() int {
+	max := 0
+	for _, r := range f.rows {
+		for _, c := range r.cells {
+			if c.machines > max {
+				max = c.machines
+			}
+		}
+	}
+	return max
+}
+
+// virtualSec totals the simulated seconds across a table's measured cells.
+func virtualSec(t *Table, iters int) float64 {
+	var total float64
+	for _, r := range t.Rows {
+		for _, c := range t.Cols {
+			cell := t.Cells[r][c]
+			if cell.Skipped || cell.Failed {
+				continue
+			}
+			total += cell.InitSec + cell.IterSec*float64(iters)
+		}
+	}
+	return total
+}
+
+// RunHostBench measures the host-parallel speedup: it runs each figure
+// with HostWorkers=1 and again with the full worker pool, wall-timing
+// both, and verifies the rendered virtual-time tables are byte-identical
+// (the parallel scheduler must not change any simulated result). Records
+// are written as a JSON array to path.
+func RunHostBench(figureIDs []string, o Options, path string) ([]HostBenchRecord, error) {
+	o = o.withDefaults()
+	full := o.HostWorkers
+	if full <= 0 {
+		full = runtime.GOMAXPROCS(0)
+	}
+	var records []HostBenchRecord
+	for _, id := range figureIDs {
+		var renders [2]string
+		for i, workers := range []int{1, full} {
+			fo := o
+			fo.HostWorkers = workers
+			f := FigureByID(id, fo)
+			if f == nil {
+				return nil, fmt.Errorf("hostbench: unknown figure %q", id)
+			}
+			start := time.Now()
+			t := f.Run(fo)
+			wall := time.Since(start).Seconds()
+			renders[i] = t.Render()
+			records = append(records, HostBenchRecord{
+				Figure:     id,
+				Machines:   f.maxMachines(),
+				Workers:    workers,
+				HostCPUs:   runtime.NumCPU(),
+				WallSec:    wall,
+				VirtualSec: virtualSec(t, fo.Iterations),
+			})
+		}
+		if renders[0] != renders[1] {
+			return nil, fmt.Errorf("hostbench: figure %s table differs between 1 and %d workers", id, full)
+		}
+	}
+	data, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return records, os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -32,6 +32,10 @@ type Options struct {
 	// "-failures"/"-failat"/"-straggle" CLI flags). Individual figures may
 	// override it per cell — the recovery figures (fig7 family) do.
 	Faults FaultConfig
+	// HostWorkers bounds the host goroutines executing simulated machines
+	// concurrently (the "-workers" CLI flag): 0 uses GOMAXPROCS, 1 runs
+	// sequentially. Virtual-clock results are identical for any value.
+	HostWorkers int
 }
 
 func (o Options) withDefaults() Options {
@@ -84,6 +88,7 @@ func newCluster(machines int, scale float64, o Options) *sim.Cluster {
 	}
 	cfg.Seed = o.Seed
 	cfg.Trace = o.Trace
+	cfg.HostWorkers = o.HostWorkers
 	return sim.New(cfg)
 }
 
@@ -98,6 +103,7 @@ func newFaultCluster(machines int, scale float64, o Options, sched *faults.Sched
 	}
 	cfg.Seed = o.Seed
 	cfg.Trace = o.Trace
+	cfg.HostWorkers = o.HostWorkers
 	cfg.Faults = sched
 	cfg.Recovery.BSPCheckpointEvery = interval(fc.BSPCheckpointEvery)
 	cfg.Recovery.GASSnapshotEvery = interval(fc.GASSnapshotEvery)

@@ -189,6 +189,20 @@ type Context struct {
 	v     *Vertex
 	// staged sends from this machine, combined per destination.
 	stage *ordmap.Map[VertexID, pending]
+	// agg buffers this machine's aggregator contributions; machines may
+	// compute concurrently, so the global sums are merged at the barrier
+	// in machine order.
+	agg *ordmap.Map[string, float64]
+	// shared buffers this machine's SetShared publications, applied at the
+	// barrier in machine order (last machine wins, as under sequential
+	// execution).
+	shared *ordmap.Map[string, sharedVal]
+}
+
+// sharedVal is one staged worker-shared publication.
+type sharedVal struct {
+	value any
+	bytes int64
 }
 
 // Meter exposes the task meter for user-code cost charging.
@@ -262,7 +276,8 @@ func (ctx *Context) Aggregate(name string, v float64) {
 	if ctx.v.Scaled {
 		mult = ctx.g.c.Scale()
 	}
-	ctx.g.aggCur[name] += v * mult
+	old, _ := ctx.agg.Get(name)
+	ctx.agg.Set(name, old+v*mult)
 	ctx.meter.ChargeTuplesAbs(mult)
 }
 
@@ -274,8 +289,7 @@ func (ctx *Context) Agg(name string) float64 { return ctx.g.aggPrev[name] }
 // "broadcast" of the paper's Giraph codes): after this superstep every
 // machine holds one copy, charged against its memory.
 func (ctx *Context) SetShared(name string, value any, bytes int64) {
-	ctx.g.shared[name] = value
-	ctx.g.sharedBytes[name] = bytes
+	ctx.shared.Set(name, sharedVal{value: value, bytes: bytes})
 }
 
 // Shared returns a worker-shared value published in an earlier superstep.
@@ -330,6 +344,8 @@ func (g *Graph) RunSuperstep(compute Compute) error {
 	g.aggCur = map[string]float64{}
 
 	stages := make([]*ordmap.Map[VertexID, pending], machines)
+	aggStages := make([]*ordmap.Map[string, float64], machines)
+	sharedStages := make([]*ordmap.Map[string, sharedVal], machines)
 	heap := cost.BSPHeapFactor
 	err := g.c.RunPhaseF(fmt.Sprintf("bsp-superstep-%d", g.step), func(machine int, m *sim.Meter) error {
 		m.SetProfile(sim.ProfileJava)
@@ -342,6 +358,10 @@ func (g *Graph) RunSuperstep(compute Compute) error {
 		defer m.Machine().Free(buf)
 		stage := ordmap.New[VertexID, pending]()
 		stages[machine] = stage
+		agg := ordmap.New[string, float64]()
+		aggStages[machine] = agg
+		shared := ordmap.New[string, sharedVal]()
+		sharedStages[machine] = shared
 		for _, v := range g.byMach[machine] {
 			msgs, _ := inbox[machine].Get(v.ID)
 			if v.halted && len(msgs) == 0 {
@@ -352,7 +372,7 @@ func (g *Graph) RunSuperstep(compute Compute) error {
 			} else {
 				m.ChargeTuplesAbs(float64(1 + len(msgs)))
 			}
-			ctx := &Context{g: g, meter: m, v: v, stage: stage}
+			ctx := &Context{g: g, meter: m, v: v, stage: stage, agg: agg, shared: shared}
 			if err := compute(ctx, v, msgs); err != nil {
 				return err
 			}
@@ -377,6 +397,22 @@ func (g *Graph) RunSuperstep(compute Compute) error {
 		stage.Each(func(dst VertexID, p pending) {
 			old, _ := g.queue.Get(dst)
 			g.queue.Set(dst, append(old, p))
+		})
+	}
+	// Merge aggregator and shared-value stages, in machine order.
+	for _, a := range aggStages {
+		if a == nil {
+			continue
+		}
+		a.Each(func(name string, v float64) { g.aggCur[name] += v })
+	}
+	for _, s := range sharedStages {
+		if s == nil {
+			continue
+		}
+		s.Each(func(name string, sv sharedVal) {
+			g.shared[name] = sv.value
+			g.sharedBytes[name] = sv.bytes
 		})
 	}
 	// Distribute shared values: one copy per machine.

@@ -17,20 +17,29 @@ func (r *RDD[T]) prepare() error {
 }
 
 // runAction executes one job: a phase computing every partition and
-// passing it to fn on its machine.
+// passing it to fn on its machine. Partition computation runs task-local
+// (possibly host-parallel); fn runs in the Merge hook, sequentially in
+// partition order, because actions fold results into driver-side state.
 func (r *RDD[T]) runAction(name string, fn func(p int, m *sim.Meter, data []T) error) error {
 	if err := r.prepare(); err != nil {
 		return err
 	}
 	c := r.ctx.cluster
 	c.Advance(c.Config().Cost.SparkJobLaunch)
-	return c.RunPhase(name+" "+r.name, r.partTasks(func(p int, m *sim.Meter) error {
+	datas := make([][]T, r.parts)
+	tasks := r.partTasks(func(p int, m *sim.Meter) error {
 		data, err := r.partition(p, m)
 		if err != nil {
 			return err
 		}
-		return fn(p, m, data)
-	}))
+		datas[p] = data
+		return nil
+	})
+	for i := range tasks {
+		p := i
+		tasks[p].Merge = func(m *sim.Meter) error { return fn(p, m, datas[p]) }
+	}
+	return c.RunPhase(name+" "+r.name, tasks)
 }
 
 // Collect gathers every element to the driver. The driver transiently

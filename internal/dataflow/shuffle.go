@@ -102,8 +102,13 @@ func Join[K comparable, V, W any](a *RDD[Pair[K, V]], b *RDD[Pair[K, W]]) *RDD[P
 			}
 			return bytes
 		}
-		// Map side: both inputs shuffle to the same reducers.
-		err := c.RunPhase("join-map-left "+out.name, a.partTasks(func(p int, m *sim.Meter) error {
+		// Map side: both inputs shuffle to the same reducers. Partition
+		// contents are computed (and shipping charged) task-locally; the
+		// shared reducer buffers are filled in the Merge hooks, in
+		// partition order, keeping them deterministic under host
+		// parallelism.
+		leftParts := make([][]Pair[K, V], a.parts)
+		leftTasks := a.partTasks(func(p int, m *sim.Meter) error {
 			in, err := a.partition(p, m)
 			if err != nil {
 				return err
@@ -111,17 +116,28 @@ func Join[K comparable, V, W any](a *RDD[Pair[K, V]], b *RDD[Pair[K, W]]) *RDD[P
 			a.chargeTuples(m, len(in))
 			for _, kv := range in {
 				t := int(hashKey(kv.K) % uint64(out.parts))
-				bytes := a.sizer(kv)
-				shipBytes(m, a.scaled, a.ctx.machineFor(t), bytes)
-				bufBytes[t] += scaleIf(bytes, a.scaled)
-				getSides(reducers[t], kv.K).left = append(getSides(reducers[t], kv.K).left, kv.V)
+				shipBytes(m, a.scaled, a.ctx.machineFor(t), a.sizer(kv))
 			}
+			leftParts[p] = in
 			return nil
-		}))
+		})
+		for i := range leftTasks {
+			p := i
+			leftTasks[p].Merge = func(m *sim.Meter) error {
+				for _, kv := range leftParts[p] {
+					t := int(hashKey(kv.K) % uint64(out.parts))
+					bufBytes[t] += scaleIf(a.sizer(kv), a.scaled)
+					getSides(reducers[t], kv.K).left = append(getSides(reducers[t], kv.K).left, kv.V)
+				}
+				return nil
+			}
+		}
+		err := c.RunPhase("join-map-left "+out.name, leftTasks)
 		if err != nil {
 			return err
 		}
-		err = c.RunPhase("join-map-right "+out.name, b.partTasks(func(p int, m *sim.Meter) error {
+		rightParts := make([][]Pair[K, W], b.parts)
+		rightTasks := b.partTasks(func(p int, m *sim.Meter) error {
 			in, err := b.partition(p, m)
 			if err != nil {
 				return err
@@ -129,13 +145,23 @@ func Join[K comparable, V, W any](a *RDD[Pair[K, V]], b *RDD[Pair[K, W]]) *RDD[P
 			b.chargeTuples(m, len(in))
 			for _, kv := range in {
 				t := int(hashKey(kv.K) % uint64(out.parts))
-				bytes := b.sizer(kv)
-				shipBytes(m, b.scaled, b.ctx.machineFor(t), bytes)
-				bufBytes[t] += scaleIf(bytes, b.scaled)
-				getSides(reducers[t], kv.K).right = append(getSides(reducers[t], kv.K).right, kv.V)
+				shipBytes(m, b.scaled, b.ctx.machineFor(t), b.sizer(kv))
 			}
+			rightParts[p] = in
 			return nil
-		}))
+		})
+		for i := range rightTasks {
+			p := i
+			rightTasks[p].Merge = func(m *sim.Meter) error {
+				for _, kv := range rightParts[p] {
+					t := int(hashKey(kv.K) % uint64(out.parts))
+					bufBytes[t] += scaleIf(b.sizer(kv), b.scaled)
+					getSides(reducers[t], kv.K).right = append(getSides(reducers[t], kv.K).right, kv.V)
+				}
+				return nil
+			}
+		}
+		err = c.RunPhase("join-map-right "+out.name, rightTasks)
 		if err != nil {
 			return err
 		}
@@ -191,7 +217,12 @@ func runShuffle[K comparable, V, A, O any](
 		reducers[i] = newOmap[K, A]()
 	}
 	// Map side: compute input partitions, combine locally per target, ship.
-	err := c.RunPhase("shuffle-map "+out.name, in.partTasks(func(p int, m *sim.Meter) error {
+	// The per-target combiner maps stay task-local; folding them into the
+	// shared reducer maps happens in the Merge hook, sequentially in
+	// partition order, so the reducers' key order (and any cost charged by
+	// mergeAcc collisions) is identical at every host worker count.
+	locals := make([][]*omap[K, A], in.parts)
+	mapTasks := in.partTasks(func(p int, m *sim.Meter) error {
 		data, err := in.partition(p, m)
 		if err != nil {
 			return err
@@ -218,8 +249,6 @@ func runShuffle[K comparable, V, A, O any](
 				// model-sized aggregations ship unscaled partials even
 				// when the input was data-proportional.
 				shipBytes(m, out.scaled, dstMachine, b)
-				partialBytes[t] += b
-				reducers[t].merge(k, a, func(old, new A) A { return mergeAcc(m, old, new) })
 			})
 		}
 		// Shuffle files are written to local disk before shipping.
@@ -228,8 +257,25 @@ func runShuffle[K comparable, V, A, O any](
 			diskBytes *= c.Scale()
 		}
 		m.ChargeSec(diskBytes / cost.DiskBytesPerSec)
+		locals[p] = local
 		return nil
-	}))
+	})
+	for i := range mapTasks {
+		p := i
+		mapTasks[p].Merge = func(m *sim.Meter) error {
+			for t, l := range locals[p] {
+				if l == nil {
+					continue
+				}
+				l.each(func(k K, a A) {
+					partialBytes[t] += accBytes(k, a)
+					reducers[t].merge(k, a, func(old, new A) A { return mergeAcc(m, old, new) })
+				})
+			}
+			return nil
+		}
+	}
+	err := c.RunPhase("shuffle-map "+out.name, mapTasks)
 	if err != nil {
 		return err
 	}

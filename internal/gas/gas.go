@@ -311,13 +311,17 @@ func (g *Graph) RunRound(prog Program, active []VertexID) error {
 	}
 
 	// Gather phase: per active vertex, materialize neighbor views, charge
-	// memory and network, compute accumulators.
-	accs := make(map[*Vertex]any, g.verts.Len())
+	// memory and network, compute accumulators. Accumulators live in
+	// per-machine maps: each task only writes its own machine's map, so
+	// machines can gather on concurrent host goroutines.
+	accsBy := make([]map[*Vertex]any, g.machines)
 	gatherAlloc := make([]int64, g.machines)
 	err := g.c.RunPhaseF("gas-gather", func(machine int, m *sim.Meter) error {
 		if machine >= g.machines {
 			return nil
 		}
+		accs := make(map[*Vertex]any, len(actByMach[machine]))
+		accsBy[machine] = accs
 		m.SetProfile(sim.ProfileCPP)
 		for _, v := range actByMach[machine] {
 			var acc any
@@ -391,7 +395,7 @@ func (g *Graph) RunRound(prog Program, active []VertexID) error {
 			} else {
 				m.ChargeTuplesAbs(1)
 			}
-			prog.Apply(m, v, accs[v])
+			prog.Apply(m, v, accsBy[machine][v])
 		}
 		return nil
 	})

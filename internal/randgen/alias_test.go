@@ -1,0 +1,156 @@
+package randgen
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAliasPmfMatchesWeightsExactly(t *testing.T) {
+	// The alias table is not an approximation: the mass it assigns to each
+	// outcome must equal the normalized weights to float round-off.
+	rng := New(7)
+	for trial := 0; trial < 50; trial++ {
+		k := 1 + rng.Intn(200)
+		weights := make([]float64, k)
+		var total float64
+		for i := range weights {
+			if rng.Float64() < 0.3 {
+				weights[i] = 0 // zero-weight outcomes must get zero mass
+			} else {
+				weights[i] = rng.Float64() * math.Pow(10, float64(rng.Intn(6))-3)
+			}
+			total += weights[i]
+		}
+		if total == 0 {
+			weights[0], total = 1, 1
+		}
+		pmf := NewAlias(weights).Pmf()
+		for i, w := range weights {
+			if math.Abs(pmf[i]-w/total) > 1e-12 {
+				t.Fatalf("trial %d: pmf[%d] = %v, want %v", trial, i, pmf[i], w/total)
+			}
+		}
+	}
+}
+
+// chiSquared returns the chi-squared statistic of observed counts against
+// expected probabilities over n draws, pooling tiny-expectation cells.
+func chiSquared(counts []int, probs []float64, n int) (stat float64, dof int) {
+	var pooledObs, pooledExp float64
+	for i, p := range probs {
+		exp := p * float64(n)
+		if exp < 5 {
+			pooledObs += float64(counts[i])
+			pooledExp += exp
+			continue
+		}
+		d := float64(counts[i]) - exp
+		stat += d * d / exp
+		dof++
+	}
+	if pooledExp > 0 {
+		d := pooledObs - pooledExp
+		stat += d * d / pooledExp
+		dof++
+	}
+	return stat, dof - 1
+}
+
+func TestAliasAgreesWithLinearScanFrequencies(t *testing.T) {
+	// Draw from both samplers and chi-squared-test each against the true
+	// distribution: alias draws must look like Categorical draws.
+	weights := make([]float64, 100)
+	wrng := New(3)
+	var total float64
+	for i := range weights {
+		weights[i] = 1 / math.Pow(float64(i+1), 1.05) * (0.5 + wrng.Float64())
+		total += weights[i]
+	}
+	probs := make([]float64, len(weights))
+	for i, w := range weights {
+		probs[i] = w / total
+	}
+	const n = 200_000
+	a := NewAlias(weights)
+	arng, crng := New(11), New(12)
+	aliasCounts := make([]int, len(weights))
+	linearCounts := make([]int, len(weights))
+	for i := 0; i < n; i++ {
+		aliasCounts[a.Draw(arng)]++
+		linearCounts[crng.Categorical(weights)]++
+	}
+	for name, counts := range map[string][]int{"alias": aliasCounts, "linear": linearCounts} {
+		stat, dof := chiSquared(counts, probs, n)
+		// Very loose 99.9%-ish bound: chi2_{0.999} ~ dof + 4*sqrt(2*dof).
+		limit := float64(dof) + 4*math.Sqrt(2*float64(dof))
+		if stat > limit {
+			t.Errorf("%s sampler chi-squared = %.1f with %d dof, limit %.1f", name, stat, dof, limit)
+		}
+	}
+}
+
+func TestAliasDeterministic(t *testing.T) {
+	weights := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	a, b := NewAlias(weights), NewAlias(weights)
+	ra, rb := New(99), New(99)
+	for i := 0; i < 1000; i++ {
+		if x, y := a.Draw(ra), b.Draw(rb); x != y {
+			t.Fatalf("draw %d: %d vs %d", i, x, y)
+		}
+	}
+}
+
+func TestAliasPanicsLikeCategorical(t *testing.T) {
+	for name, weights := range map[string][]float64{
+		"empty":    {},
+		"zero":     {0, 0, 0},
+		"negative": {1, -1, 2},
+		"nan":      {1, math.NaN()},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s weights: expected panic", name)
+				}
+			}()
+			NewAlias(weights)
+		}()
+	}
+}
+
+func TestAliasSingleOutcome(t *testing.T) {
+	a := NewAlias([]float64{42})
+	rng := New(1)
+	for i := 0; i < 10; i++ {
+		if got := a.Draw(rng); got != 0 {
+			t.Fatalf("draw = %d", got)
+		}
+	}
+}
+
+// benchWeights is a Zipf-ish K=100 distribution, the LDA topic-count shape.
+func benchWeights() []float64 {
+	w := make([]float64, 100)
+	for i := range w {
+		w[i] = 1 / math.Pow(float64(i+1), 1.05)
+	}
+	return w
+}
+
+func BenchmarkCategoricalLinear(b *testing.B) {
+	weights := benchWeights()
+	rng := New(5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = rng.Categorical(weights)
+	}
+}
+
+func BenchmarkCategoricalAlias(b *testing.B) {
+	a := NewAlias(benchWeights())
+	rng := New(5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = a.Draw(rng)
+	}
+}

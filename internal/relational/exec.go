@@ -162,15 +162,20 @@ func (n *modelNode) run(e *Engine) (*Table, error) {
 }
 
 // repartition shuffles a table by key hash, charging map-side read, disk
-// spill, and network. It returns per-machine row groups.
+// spill, and network. It returns per-machine row groups. Each map task
+// partitions into task-local buckets; the shared output groups are
+// assembled in the Merge hooks, in machine order, so row order within a
+// destination group is machine-major and worker-count-independent.
 func (e *Engine) repartition(name string, in *Table, keyCols []int) ([][]Tuple, error) {
 	parts := make([][]Tuple, e.machines())
+	locals := make([][][]Tuple, e.machines())
 	width := len(in.Schema)
-	err := e.c.RunPhaseF(name, func(machine int, m *sim.Meter) error {
+	err := e.c.RunPhaseFM(name, func(machine int, m *sim.Meter) error {
 		m.SetProfile(sim.ProfileSQLEngine)
 		rows := in.Parts[machine]
 		chargeRows(m, len(rows), in.Scaled)
 		chargeDisk(m, e.c, len(rows), width, in.Scaled) // read input from HDFS
+		local := make([][]Tuple, e.machines())
 		for _, t := range rows {
 			dst := int(keyOf(t, keyCols).hash() % uint64(e.machines()))
 			bytes := float64(tupleBytes(width))
@@ -179,9 +184,15 @@ func (e *Engine) repartition(name string, in *Table, keyCols []int) ([][]Tuple, 
 			} else {
 				m.SendModel(dst, bytes)
 			}
-			parts[dst] = append(parts[dst], t)
+			local[dst] = append(local[dst], t)
 		}
 		chargeDisk(m, e.c, len(rows), width, in.Scaled) // write map output
+		locals[machine] = local
+		return nil
+	}, func(machine int, m *sim.Meter) error {
+		for dst, ts := range locals[machine] {
+			parts[dst] = append(parts[dst], ts...)
+		}
 		return nil
 	})
 	return parts, err
@@ -399,8 +410,12 @@ func (n *groupAggNode) run(e *Engine) (*Table, error) {
 	e.c.Advance(e.c.Config().Cost.MRJobLaunch)
 	width := len(in.Schema)
 	// Map side with combining: one partial aggregate per (machine, group).
+	// Partials route to their reducers in the Merge hooks, in machine
+	// order, keeping the shared per-destination lists deterministic under
+	// host parallelism.
 	partials := make([][]*aggState, e.machines()) // indexed by destination
-	err = e.c.RunPhaseF("group-map", func(machine int, m *sim.Meter) error {
+	localAggs := make([]*ordmap.Map[keyRef, *aggState], e.machines())
+	err = e.c.RunPhaseFM("group-map", func(machine int, m *sim.Meter) error {
 		m.SetProfile(sim.ProfileSQLEngine)
 		rows := in.Parts[machine]
 		// GROUP BY absorbs its input through the tight combiner loop.
@@ -430,9 +445,15 @@ func (n *groupAggNode) run(e *Engine) (*Table, error) {
 			} else {
 				m.SendModel(dst, bytes)
 			}
-			partials[dst] = append(partials[dst], st)
 		})
 		chargeRows(m, local.Len(), n.scaled())
+		localAggs[machine] = local
+		return nil
+	}, func(machine int, m *sim.Meter) error {
+		localAggs[machine].Each(func(k keyRef, st *aggState) {
+			dst := int(k.hash() % uint64(e.machines()))
+			partials[dst] = append(partials[dst], st)
+		})
 		return nil
 	})
 	if err != nil {
@@ -479,7 +500,8 @@ func (n *expandAggNode) run(e *Engine) (*Table, error) {
 	for i := range partials {
 		partials[i] = ordmap.New[keyRef, Tuple]()
 	}
-	err = e.c.RunPhaseF("expandagg-map", func(machine int, m *sim.Meter) error {
+	localMaps := make([]*ordmap.Map[keyRef, Tuple], e.machines())
+	err = e.c.RunPhaseFM("expandagg-map", func(machine int, m *sim.Meter) error {
 		m.SetProfile(sim.ProfileSQLEngine)
 		rows := in.Parts[machine]
 		chargeRows(m, len(rows), in.Scaled)
@@ -509,12 +531,20 @@ func (n *expandAggNode) run(e *Engine) (*Table, error) {
 			} else {
 				m.SendModel(dst, bytes)
 			}
+		})
+		chargeRows(m, local.Len(), n.scaled())
+		localMaps[machine] = local
+		return nil
+	}, func(machine int, m *sim.Meter) error {
+		// Fold this machine's partials into the shared reducer maps, in
+		// machine order (the cross-machine float additions happen here).
+		localMaps[machine].Each(func(k keyRef, row Tuple) {
+			dst := int(k.hash() % uint64(e.machines()))
 			partials[dst].Merge(k, row, func(old, new Tuple) Tuple {
 				old[len(old)-1] += new[len(new)-1]
 				return old
 			})
 		})
-		chargeRows(m, local.Len(), n.scaled())
 		return nil
 	})
 	if err != nil {

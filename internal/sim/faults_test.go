@@ -157,6 +157,46 @@ func TestStragglerInflatesVictimCompute(t *testing.T) {
 	}
 }
 
+func TestStraggleWindowOpenedByInflation(t *testing.T) {
+	// A first window inflates the victim's compute, stretching the phase
+	// past the start of a second, stronger window. The phase-end estimate
+	// is iterated to a fixed point, so the second window applies too —
+	// previously it was silently missed because the window was evaluated
+	// against the pre-inflation estimate only.
+	cfg := faultTestConfig(2)
+	cfg.Faults = faults.NewSchedule(
+		faults.StraggleAt(0, 0, 1.5, 2), // base 1s -> inflated 2s
+		faults.StraggleAt(0, 1.5, 10, 4),
+	)
+	c := New(cfg)
+	if err := chargeAll(c, "work", 1); err != nil {
+		t.Fatal(err)
+	}
+	// Fixed point: factor(window [0,1.5)) = 2 stretches the end to 2s,
+	// which overlaps window [1.5,11.5) with factor 4 (factors take the max
+	// of overlapping windows, they do not compound).
+	if got := c.Now(); got != 4 {
+		t.Errorf("clock = %v, want 4 (second window opened by inflation)", got)
+	}
+}
+
+func TestStraggleWindowBeyondInflatedEndIgnored(t *testing.T) {
+	// A window starting after even the inflated phase end must not apply:
+	// the machine has already finished by then.
+	cfg := faultTestConfig(2)
+	cfg.Faults = faults.NewSchedule(
+		faults.StraggleAt(0, 0, 1.5, 2),
+		faults.StraggleAt(0, 2.5, 10, 4), // starts after the 2s inflated end
+	)
+	c := New(cfg)
+	if err := chargeAll(c, "work", 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Now(); got != 2 {
+		t.Errorf("clock = %v, want 2 (late window must not apply)", got)
+	}
+}
+
 func TestInjectionIsDeterministic(t *testing.T) {
 	run := func() []float64 {
 		cfg := faultTestConfig(5)

@@ -19,6 +19,16 @@ type Meter struct {
 	parSec  float64
 	serSec  float64
 	serial  bool
+	sends   []sendRec
+}
+
+// sendRec is one buffered network transfer. Sends are not applied to the
+// shared per-machine accumulators while the task runs — tasks may execute
+// concurrently on host goroutines — but replayed in deterministic task
+// order at the phase barrier.
+type sendRec struct {
+	dst   int
+	bytes float64
 }
 
 // Machine returns the machine this task runs on.
@@ -121,8 +131,19 @@ func (t *Meter) send(dst int, bytes float64) {
 	if dst == t.machine.id {
 		return
 	}
-	t.machine.phaseSent += bytes
-	t.cluster.machines[dst].phaseRecv += bytes
+	t.sends = append(t.sends, sendRec{dst: dst, bytes: bytes})
+}
+
+// apply folds the meter's buffered charges into the phase accumulators.
+// Called on the host goroutine, in global task order, so the floating-point
+// summation order is identical for every host worker count.
+func (t *Meter) apply(perMachinePar, perMachineSer []float64) {
+	perMachinePar[t.machine.id] += t.parSec
+	perMachineSer[t.machine.id] += t.serSec
+	for _, s := range t.sends {
+		t.machine.phaseSent += s.bytes
+		t.cluster.machines[s.dst].phaseRecv += s.bytes
+	}
 }
 
 // AllocData charges a data-proportional simulated allocation of realBytes

@@ -33,6 +33,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 
 	"mlbench/internal/faults"
 	"mlbench/internal/randgen"
@@ -62,6 +64,11 @@ type Config struct {
 	Faults *faults.Schedule
 	// Recovery carries the engines' checkpoint/snapshot policies.
 	Recovery RecoveryConfig
+	// HostWorkers bounds how many host goroutines RunPhase uses to execute
+	// simulated machines concurrently (0 = GOMAXPROCS, 1 = sequential).
+	// Every virtual-clock number is byte-identical across worker counts;
+	// see the "Host execution model" section of DESIGN.md.
+	HostWorkers int
 }
 
 // DefaultConfig returns the paper's experimental platform: m2.4xlarge
@@ -229,9 +236,37 @@ func (c *Cluster) Advance(sec float64) {
 }
 
 // Task is one unit of work in a phase, pinned to a machine.
+//
+// Run executes on a host worker goroutine, possibly concurrently with other
+// machines' tasks; it must only touch its own machine's state (the Meter,
+// the machine's RNG and memory accountant, and data partitioned to that
+// machine). Merge, when set, runs on the host goroutine at the phase
+// barrier, sequentially in global task order, receiving the same Meter the
+// task ran with — it is the deterministic point at which a task may fold
+// its results into state shared across machines. Charges made inside Merge
+// are accounted exactly like charges made inside Run.
 type Task struct {
 	Machine int
 	Run     func(*Meter) error
+	Merge   func(*Meter) error
+}
+
+// taskState carries one task's buffered outcome from the worker pool to the
+// barrier merge.
+type taskState struct {
+	meter    *Meter
+	err      error
+	panicked bool
+	panicVal any
+	ran      bool
+}
+
+// hostWorkers resolves the configured host-parallelism degree.
+func (c *Cluster) hostWorkers() int {
+	if c.cfg.HostWorkers > 0 {
+		return c.cfg.HostWorkers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // RunPhase executes a barrier-synchronized phase: all tasks run (grouped by
@@ -241,9 +276,20 @@ type Task struct {
 // are treated as data-parallel across the machine's cores; serial charges
 // are not divided.
 //
-// The first task error aborts the phase and is returned; the clock still
-// advances by the work completed so far, mimicking a failed job that dies
-// mid-flight.
+// Execution is host-parallel: each simulated machine's task group runs on
+// its own goroutine from a pool of Config.HostWorkers workers. Tasks buffer
+// their charges in their Meter; at the barrier the host replays them in
+// global task order, so every virtual-clock number is byte-identical across
+// worker counts.
+//
+// A task error aborts the phase and is returned. Error selection is
+// deterministic: the error of the lowest-indexed failing task wins, and the
+// clock advances by the work of tasks up to and including that one —
+// mimicking a failed job that dies mid-flight, independent of host timing.
+// A failing machine's later tasks do not run; other machines' in-flight
+// groups run to completion (keeping their RNG and memory state
+// worker-count-independent) but any charges past the failure point are
+// discarded.
 //
 // When a fault schedule is configured, straggle windows overlapping the
 // phase inflate the victim's compute time, and crashes crossed by the
@@ -260,20 +306,95 @@ func (c *Cluster) RunPhase(name string, tasks []Task) error {
 		m.phaseSent, m.phaseRecv = 0, 0
 	}
 
-	var firstErr error
-	for _, t := range tasks {
+	// Group task indices by machine, preserving submission order. A
+	// machine's tasks run sequentially on one goroutine (they share the
+	// machine's RNG and memory accountant); distinct machines run
+	// concurrently.
+	groups := make([][]int, c.cfg.Machines)
+	for i, t := range tasks {
 		if t.Machine < 0 || t.Machine >= c.cfg.Machines {
 			panic(fmt.Sprintf("sim: task assigned to machine %d of %d", t.Machine, c.cfg.Machines))
 		}
-		meter := &Meter{machine: c.machines[t.Machine], cluster: c}
-		err := t.Run(meter)
-		perMachinePar[t.Machine] += meter.parSec
-		perMachineSer[t.Machine] += meter.serSec
-		taskCount[t.Machine]++
-		if err != nil {
-			firstErr = err
+		groups[t.Machine] = append(groups[t.Machine], i)
+	}
+
+	states := make([]taskState, len(tasks))
+	runGroup := func(idxs []int) {
+		for _, i := range idxs {
+			st := &states[i]
+			st.meter = &Meter{machine: c.machines[tasks[i].Machine], cluster: c}
+			func() {
+				defer func() {
+					if p := recover(); p != nil {
+						st.panicked = true
+						st.panicVal = p
+					}
+				}()
+				st.err = tasks[i].Run(st.meter)
+			}()
+			st.ran = true
+			if st.err != nil || st.panicked {
+				break // this machine stops at its first failure
+			}
+		}
+	}
+	if workers := c.hostWorkers(); workers <= 1 {
+		for _, idxs := range groups {
+			if len(idxs) > 0 {
+				runGroup(idxs)
+			}
+		}
+	} else {
+		sem := make(chan struct{}, workers)
+		var wg sync.WaitGroup
+		for _, idxs := range groups {
+			if len(idxs) == 0 {
+				continue
+			}
+			wg.Add(1)
+			go func(idxs []int) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				runGroup(idxs)
+			}(idxs)
+		}
+		wg.Wait()
+	}
+
+	// Deterministic selection: re-raise the lowest-indexed panic, exactly
+	// as sequential execution would have surfaced it first.
+	for i := range states {
+		if states[i].panicked {
+			panic(states[i].panicVal)
+		}
+	}
+
+	// Barrier merge, in global task order: run Merge hooks and replay each
+	// task's buffered charges. The lowest-indexed task error wins; work
+	// past it is discarded.
+	var firstErr error
+	for i := range tasks {
+		st := &states[i]
+		if !st.ran {
+			continue // skipped after its own machine's earlier failure
+		}
+		if st.err != nil {
+			st.meter.apply(perMachinePar, perMachineSer)
+			taskCount[tasks[i].Machine]++
+			firstErr = st.err
 			break
 		}
+		if tasks[i].Merge != nil {
+			if err := tasks[i].Merge(st.meter); err != nil {
+				st.meter.apply(perMachinePar, perMachineSer)
+				taskCount[tasks[i].Machine]++
+				firstErr = err
+				break
+			}
+		}
+		st.meter.apply(perMachinePar, perMachineSer)
+		taskCount[tasks[i].Machine]++
 	}
 
 	// Baseline per-machine times, before straggler inflation.
@@ -301,18 +422,31 @@ func (c *Cluster) RunPhase(name string, tasks []Task) error {
 	}
 	// Injected stragglers slow their victim's compute over the phase's
 	// execution window; the barrier then waits for the slowest machine.
+	// Inflation can push the phase's end past the start of a later straggle
+	// window, which then overlaps the phase too, so the window end is
+	// iterated to a fixed point (factors only grow as the window widens, so
+	// the iteration is monotone; the pass cap is a safety net).
 	var worst, worstCompute, worstComm float64
-	for i := range c.machines {
-		if taskCount[i] == 0 && commSec[i] == 0 {
-			continue
+	evalEnd := start + baseWorst
+	for pass := 0; pass < 8; pass++ {
+		worst, worstCompute, worstComm = 0, 0, 0
+		for i := range c.machines {
+			if taskCount[i] == 0 && commSec[i] == 0 {
+				continue
+			}
+			cs := computeSec[i]
+			if len(c.stragglers) > 0 {
+				cs *= c.straggleFactor(i, start, evalEnd)
+			}
+			machineSec[i] = cs + commSec[i]
+			if machineSec[i] > worst {
+				worst, worstCompute, worstComm = machineSec[i], cs, commSec[i]
+			}
 		}
-		if len(c.stragglers) > 0 {
-			computeSec[i] *= c.straggleFactor(i, start, start+baseWorst)
+		if len(c.stragglers) == 0 || start+worst <= evalEnd {
+			break
 		}
-		machineSec[i] = computeSec[i] + commSec[i]
-		if machineSec[i] > worst {
-			worst, worstCompute, worstComm = machineSec[i], computeSec[i], commSec[i]
-		}
+		evalEnd = start + worst
 	}
 	straggle := 1.0
 	if active > 1 && c.cfg.Cost.StragglerLogFactor > 0 {
@@ -337,6 +471,23 @@ func (c *Cluster) RunPhaseF(name string, fn func(machine int, m *Meter) error) e
 	for i := range tasks {
 		i := i
 		tasks[i] = Task{Machine: i, Run: func(m *Meter) error { return fn(i, m) }}
+	}
+	return c.RunPhase(name, tasks)
+}
+
+// RunPhaseFM runs a phase with one task per machine plus a per-machine
+// Merge hook: run executes concurrently (machine-local state only), merge
+// executes at the barrier, sequentially in machine order, and may touch
+// cross-machine state (see Task.Merge).
+func (c *Cluster) RunPhaseFM(name string, run, merge func(machine int, m *Meter) error) error {
+	tasks := make([]Task, c.cfg.Machines)
+	for i := range tasks {
+		i := i
+		tasks[i] = Task{
+			Machine: i,
+			Run:     func(m *Meter) error { return run(i, m) },
+			Merge:   func(m *Meter) error { return merge(i, m) },
+		}
 	}
 	return c.RunPhase(name, tasks)
 }

@@ -194,18 +194,174 @@ func TestLocalSendIsFree(t *testing.T) {
 }
 
 func TestRunPhaseErrorAborts(t *testing.T) {
-	c := New(testConfig(2))
+	// A failing task aborts the phase: the error surfaces, later tasks on
+	// the SAME machine never run, and the clock reflects only work up to
+	// and including the failing task (other machines' groups may execute —
+	// they run on independent goroutines — but their charges past the
+	// failure index are discarded).
+	cfg := testConfig(2)
+	cfg.Cores = 1
+	c := New(cfg)
 	boom := errors.New("boom")
-	ran := 0
+	sameMachineRan := false
 	err := c.RunPhase("fail", []Task{
-		{Machine: 0, Run: func(m *Meter) error { ran++; return boom }},
-		{Machine: 1, Run: func(m *Meter) error { ran++; return nil }},
+		{Machine: 0, Run: func(m *Meter) error { m.ChargeSerialSec(2); return boom }},
+		{Machine: 1, Run: func(m *Meter) error { m.ChargeSerialSec(50); return nil }},
+		{Machine: 0, Run: func(m *Meter) error { sameMachineRan = true; return nil }},
 	})
 	if !errors.Is(err, boom) {
 		t.Fatalf("err = %v", err)
 	}
-	if ran != 1 {
-		t.Errorf("tasks after failure still ran: %d", ran)
+	if sameMachineRan {
+		t.Error("task after same-machine failure still ran")
+	}
+	if got := c.Now(); got != 2 {
+		t.Errorf("clock = %v, want 2 (charges past the failing task discarded)", got)
+	}
+}
+
+func TestRunPhaseErrorLowestIndexWins(t *testing.T) {
+	// With host parallelism any of the failing tasks could finish first in
+	// real time; the reported error and clock must come from the
+	// lowest-indexed one regardless.
+	for _, workers := range []int{1, 8} {
+		cfg := testConfig(3)
+		cfg.Cores = 1
+		cfg.HostWorkers = workers
+		c := New(cfg)
+		errA := errors.New("task 1 failed")
+		errB := errors.New("task 2 failed")
+		err := c.RunPhase("fail", []Task{
+			{Machine: 0, Run: func(m *Meter) error { m.ChargeSerialSec(1); return nil }},
+			{Machine: 1, Run: func(m *Meter) error { m.ChargeSerialSec(3); return errA }},
+			{Machine: 2, Run: func(m *Meter) error { return errB }},
+		})
+		if !errors.Is(err, errA) {
+			t.Fatalf("workers=%d: err = %v, want lowest-index error", workers, err)
+		}
+		if got := c.Now(); got != 3 {
+			t.Errorf("workers=%d: clock = %v, want 3", workers, got)
+		}
+	}
+}
+
+func TestRunPhaseMergeHook(t *testing.T) {
+	// Merge hooks run at the barrier in global task order, share the Run
+	// meter (profile and charges carry over), and their charges count.
+	cfg := testConfig(3)
+	cfg.Cores = 1
+	cfg.HostWorkers = 8
+	c := New(cfg)
+	var order []int
+	tasks := make([]Task, 3)
+	for i := range tasks {
+		i := i
+		tasks[i] = Task{
+			Machine: i,
+			Run: func(m *Meter) error {
+				m.SetProfile(Profile{TupleSec: 1})
+				return nil
+			},
+			Merge: func(m *Meter) error {
+				order = append(order, i)
+				m.ChargeTuplesAbs(float64(i + 1)) // profile survives Run->Merge
+				return nil
+			},
+		}
+	}
+	if err := c.RunPhase("merge", tasks); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Errorf("merge order = %v, want [0 1 2]", order)
+	}
+	if got := c.Now(); math.Abs(got-3) > 1e-12 { // slowest machine charged 3 tuple-seconds
+		t.Errorf("clock = %v, want 3", got)
+	}
+}
+
+func TestRunPhaseMergeErrorAborts(t *testing.T) {
+	cfg := testConfig(2)
+	cfg.Cores = 1
+	c := New(cfg)
+	boom := errors.New("merge failed")
+	merged := 0
+	err := c.RunPhase("merge-fail", []Task{
+		{Machine: 0, Run: func(m *Meter) error { m.ChargeSerialSec(1); return nil },
+			Merge: func(m *Meter) error { return boom }},
+		{Machine: 1, Run: func(m *Meter) error { m.ChargeSerialSec(50); return nil },
+			Merge: func(m *Meter) error { merged++; return nil }},
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if merged != 0 {
+		t.Error("merge hook past the failing one still ran")
+	}
+	if got := c.Now(); got != 1 {
+		t.Errorf("clock = %v, want 1", got)
+	}
+}
+
+func TestRunPhasePanicPropagates(t *testing.T) {
+	cfg := testConfig(2)
+	cfg.HostWorkers = 8
+	c := New(cfg)
+	defer func() {
+		if p := recover(); p != "kaboom" {
+			t.Fatalf("recovered %v, want kaboom", p)
+		}
+	}()
+	_ = c.RunPhase("panic", []Task{
+		{Machine: 0, Run: func(m *Meter) error { panic("kaboom") }},
+		{Machine: 1, Run: func(m *Meter) error { return nil }},
+	})
+	t.Fatal("phase returned normally")
+}
+
+// TestRunPhaseWorkerCountInvariance pins the tentpole guarantee: the
+// virtual clock and communication accounting are byte-identical at any
+// HostWorkers setting.
+func TestRunPhaseWorkerCountInvariance(t *testing.T) {
+	run := func(workers int) []float64 {
+		cfg := testConfig(5)
+		cfg.HostWorkers = workers
+		cfg.Net = Network{LatencySec: 0.25e-3, BytesPerSec: 31e6}
+		c := New(cfg)
+		var marks []float64
+		for iter := 0; iter < 4; iter++ {
+			var tasks []Task
+			for mc := 0; mc < 5; mc++ {
+				mc := mc
+				for k := 0; k < 3; k++ {
+					tasks = append(tasks, Task{Machine: mc, Run: func(m *Meter) error {
+						m.SetProfile(ProfileJava)
+						// Charges derived from the machine RNG: any
+						// divergence in execution order across worker
+						// counts would change these values.
+						m.ChargeSec(m.RNG().Float64())
+						m.ChargeTuples(int(m.RNG().Intn(1000)))
+						m.SendModel(int(m.RNG().Intn(5)), m.RNG().Float64()*1e6)
+						m.ChargeSerialSec(m.RNG().Float64() / 7)
+						return nil
+					}})
+				}
+			}
+			if err := c.RunPhase("mix", tasks); err != nil {
+				t.Fatal(err)
+			}
+			marks = append(marks, c.Now())
+		}
+		return marks
+	}
+	base := run(1)
+	for _, w := range []int{2, 3, 8} {
+		got := run(w)
+		for i := range base {
+			if got[i] != base[i] {
+				t.Fatalf("HostWorkers=%d diverges at phase %d: %v vs %v", w, i, got[i], base[i])
+			}
+		}
 	}
 }
 

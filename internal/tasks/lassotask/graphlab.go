@@ -28,7 +28,8 @@ type lassoCenter struct {
 
 type lassoModelVtx struct {
 	j   int
-	val float64 // current 1/tau_j^2
+	val float64      // current 1/tau_j^2
+	rng *randgen.RNG // per-vertex stream: applies run on the vertex's machine
 }
 
 type lassoSV struct {
@@ -49,24 +50,29 @@ func (e *lassoEdges) Neighbors(v gas.VertexID) []gas.VertexID {
 	return []gas.VertexID{centerID}
 }
 
-// lassoGather accumulates what the center collects: the auxiliary vector
-// and the residual sum.
+// lassoGather accumulates what the center collects (the auxiliary vector
+// and the residual sum) — or, for spokes gathering from the center, a
+// snapshot of the posterior state. Snapshotting in the gather phase is
+// what keeps parallel applies race-free and deterministic: the phase
+// barrier guarantees every spoke sees the previous round's (beta,
+// sigma^2), never a half-written concurrent update.
 type lassoGather struct {
 	isModel bool
 	invTau2 linalg.Vec // sparse by index; nil for data contributions
 	sse     float64
+	beta    linalg.Vec // spoke view: beta snapshot from the center
+	sigma2  float64    // spoke view: sigma^2 snapshot
 }
 
 type lassoProg struct {
 	cfg    Config
 	h      lasso.Hyper
 	rng    *randgen.RNG
-	yBar   float64
-	n      float64
-	xtx    *linalg.Mat
-	xty    linalg.Vec
-	scale  float64
-	center *lassoCenter
+	yBar  float64
+	n     float64
+	xtx   *linalg.Mat
+	xty   linalg.Vec
+	scale float64
 }
 
 func (p *lassoProg) ViewBytes(v *gas.Vertex) int64 {
@@ -84,7 +90,7 @@ func (p *lassoProg) Gather(m *sim.Meter, v, nbr *gas.Vertex) any {
 	switch nd := nbr.Data.(type) {
 	case *lassoCenter:
 		// Model vertices and data SVs gather the (beta, sigma^2) view.
-		return lassoGather{isModel: true}
+		return lassoGather{isModel: true, beta: nd.state.Beta.Clone(), sigma2: nd.state.Sigma2}
 	case *lassoModelVtx:
 		return lassoGather{invTau2: oneHot(p.cfg.P, nd.j, nd.val)}
 	case *lassoSV:
@@ -133,21 +139,28 @@ func (p *lassoProg) Apply(m *sim.Meter, v *gas.Vertex, acc any) {
 		}
 	case *lassoModelVtx:
 		// Resample 1/tau_j^2 from the gathered (beta_j, sigma^2).
+		gv, ok := acc.(lassoGather)
+		if !ok || gv.beta == nil {
+			return
+		}
 		m.ChargeLinalgAbs(1, 8, 1)
-		st := p.center.state
-		b2 := st.Beta[d.j] * st.Beta[d.j]
+		b2 := gv.beta[d.j] * gv.beta[d.j]
 		if b2 < 1e-300 {
 			b2 = 1e-300
 		}
 		l2 := p.h.Lambda * p.h.Lambda
-		mu := math.Sqrt(l2 * st.Sigma2 / b2)
+		mu := math.Sqrt(l2 * gv.sigma2 / b2)
 		if mu > 1e12 {
 			mu = 1e12
 		}
-		d.val = p.rng.InvGaussian(mu, l2)
+		d.val = d.rng.InvGaussian(mu, l2)
 	case *lassoSV:
+		gv, ok := acc.(lassoGather)
+		if !ok || gv.beta == nil {
+			return
+		}
 		m.ChargeBulk(float64(len(d.d.X)) * 2 * float64(cfg.P))
-		d.sse = sseOf(d.d, p.center.state.Beta, p.yBar)
+		d.sse = sseOf(d.d, gv.beta, p.yBar)
 	}
 }
 
@@ -169,7 +182,6 @@ func RunGraphLab(cl *sim.Cluster, cfg Config) (*task.Result, error) {
 	prog := &lassoProg{cfg: cfg, h: lasso.Hyper{Lambda: cfg.Lambda, P: cfg.P}, rng: rng, scale: cl.Scale()}
 
 	center := &lassoCenter{state: lasso.Init(cfg.P)}
-	prog.center = center
 	var spokes []gas.VertexID
 	svPerMachine := cl.Config().Cores
 	for mc := 0; mc < g.EffectiveMachines(); mc++ {
@@ -188,7 +200,9 @@ func RunGraphLab(cl *sim.Cluster, cfg Config) (*task.Result, error) {
 	}
 	for j := 0; j < cfg.P; j++ {
 		id := gas.VertexID(j)
-		g.AddVertex(id, &lassoModelVtx{j: j}, 16, false, j%g.EffectiveMachines())
+		// Model vertices live on different machines and resample tau in
+		// parallel applies, so each gets its own split RNG stream.
+		g.AddVertex(id, &lassoModelVtx{j: j, rng: rng.Split(uint64(j) + 1)}, 16, false, j%g.EffectiveMachines())
 		spokes = append(spokes, id)
 	}
 	g.AddVertex(centerID, center, int64(8*(cfg.P+2)), false, 0)

@@ -91,18 +91,23 @@ func RunSimSQL(cl *sim.Cluster, cfg Config) (*task.Result, error) {
 	// densely; the virtual cost is charged for the full paper-scale
 	// expansion.
 	g := localGramZero(cfg.P)
+	gramParts := make([]gramPartial, machines)
 	cl.Advance(cost.MRJobLaunch)
-	err := cl.RunPhaseF("gram-groupby", func(machine int, m *sim.Meter) error {
+	err := cl.RunPhaseFM("gram-groupby", func(machine int, m *sim.Meter) error {
 		m.SetProfile(sim.ProfileSQLEngine)
 		d := machineData[machine]
 		// Input scan of the per-dim relation plus the combiner loop over
 		// N x P^2 generated rows.
 		m.ChargeTuples(len(d.X) * cfg.P)
 		m.ChargeSec(float64(len(d.X)) * float64(cfg.P) * float64(cfg.P) * cl.Scale() * cost.SQLCombineSec)
-		part := localGram(d, cfg.P)
+		gramParts[machine] = localGram(d, cfg.P)
 		// One combined partial per Gram entry ships to its reducer.
 		m.SendModel((machine+1)%machines, float64(cfg.P*cfg.P*24))
-		g.merge(part)
+		return nil
+	}, func(machine int, m *sim.Meter) error {
+		// Fold into the shared accumulator at the barrier, in machine
+		// order, so the float summation order is worker-count-independent.
+		g.merge(gramParts[machine])
 		return nil
 	})
 	if err != nil {

@@ -52,6 +52,10 @@ type Config struct {
 	Variant        Variant
 	SVPerMachine   int
 	Seed           uint64
+	// AliasCorpus generates the corpus through the Walker alias sampler
+	// (same distribution, O(1) per word instead of O(log V)); the word
+	// stream differs from the default CDF path, so this is opt-in.
+	AliasCorpus bool
 }
 
 func (c Config) withDefaults() Config {
@@ -93,6 +97,7 @@ func genMachineDocs(cl *sim.Cluster, cfg Config, machine int) [][]int {
 	}
 	return workload.GenCorpus(rng, workload.CorpusConfig{
 		Docs: n, Vocab: cfg.V, AvgLen: cfg.AvgDocLen, Topics: topics,
+		UseAlias: cfg.AliasCorpus,
 	})
 }
 

@@ -162,6 +162,12 @@ type CorpusConfig struct {
 	Vocab  int // dictionary size (paper: 10,000)
 	AvgLen int // average document length (paper: ~210)
 	Topics int // planted latent structure groups (0 = pure Zipf)
+	// UseAlias samples words through a Walker alias table (O(1) per word)
+	// instead of the CDF binary search (O(log V)). The distribution is
+	// identical but the draw consumes randomness differently, so the word
+	// stream changes; tasks opt in explicitly and the default path stays
+	// byte-identical.
+	UseAlias bool
 }
 
 // GenCorpus generates documents. With Topics > 0, each document draws
@@ -178,38 +184,45 @@ func GenCorpus(rng *randgen.RNG, cfg CorpusConfig) [][]int {
 	}
 	// Per-topic word distributions: a Zipf profile over a topic-specific
 	// permutation of the dictionary, so topics prefer disjoint-ish words.
-	cdfs := make([][]float64, topics)
+	// All topics share one Zipf rank profile; only the permutation differs.
+	weights := make([]float64, cfg.Vocab)
+	var total float64
+	for r := 0; r < cfg.Vocab; r++ {
+		w := 1 / math.Pow(float64(r+1), 1.05)
+		weights[r] = w
+		total += w
+	}
 	perms := make([][]int, topics)
 	for t := 0; t < topics; t++ {
 		perms[t] = rng.Perm(cfg.Vocab)
-		weights := make([]float64, cfg.Vocab)
-		var total float64
-		for r := 0; r < cfg.Vocab; r++ {
-			w := 1 / math.Pow(float64(r+1), 1.05)
-			weights[r] = w
-			total += w
+	}
+	var sample func(t int) int
+	if cfg.UseAlias {
+		at := randgen.NewAlias(weights)
+		sample = func(t int) int {
+			return perms[t][at.Draw(rng)]
 		}
+	} else {
 		cdf := make([]float64, cfg.Vocab)
 		var acc float64
 		for r := range weights {
 			acc += weights[r] / total
 			cdf[r] = acc
 		}
-		cdfs[t] = cdf
-	}
-	sample := func(t int) int {
-		u := rng.Float64()
-		// Binary search the cdf.
-		lo, hi := 0, cfg.Vocab-1
-		for lo < hi {
-			mid := (lo + hi) / 2
-			if cdfs[t][mid] < u {
-				lo = mid + 1
-			} else {
-				hi = mid
+		sample = func(t int) int {
+			u := rng.Float64()
+			// Binary search the cdf.
+			lo, hi := 0, cfg.Vocab-1
+			for lo < hi {
+				mid := (lo + hi) / 2
+				if cdf[mid] < u {
+					lo = mid + 1
+				} else {
+					hi = mid
+				}
 			}
+			return perms[t][lo]
 		}
-		return perms[t][lo]
 	}
 	docs := make([][]int, cfg.Docs)
 	for d := range docs {

@@ -237,6 +237,38 @@ func TestGenCorpusDeterministic(t *testing.T) {
 	}
 }
 
+func TestGenCorpusAliasSameDistribution(t *testing.T) {
+	// The alias path draws from the same Zipf profile as the CDF path: the
+	// aggregate word-frequency ranks must agree even though the word
+	// streams differ (the samplers consume randomness differently).
+	count := func(useAlias bool) []int {
+		cfg := CorpusConfig{Docs: 400, Vocab: 200, AvgLen: 100, Topics: 1, UseAlias: useAlias}
+		counts := make([]int, cfg.Vocab)
+		for _, doc := range GenCorpus(randgen.New(17), cfg) {
+			for _, w := range doc {
+				counts[w]++
+			}
+		}
+		return counts
+	}
+	cdf, alias := count(false), count(true)
+	// Compare the head of the distribution: each of the top ranks should
+	// carry a similar share under both samplers.
+	var cdfTotal, aliasTotal int
+	for i := range cdf {
+		cdfTotal += cdf[i]
+		aliasTotal += alias[i]
+	}
+	// Topic 0's permutation is the same for both calls (same seed, and the
+	// perm is drawn before any word), so ranks map to the same word ids.
+	for w := 0; w < 200; w++ {
+		p, q := float64(cdf[w])/float64(cdfTotal), float64(alias[w])/float64(aliasTotal)
+		if p > 0.01 && (q < p/2 || q > p*2) {
+			t.Errorf("word %d share: cdf %v vs alias %v", w, p, q)
+		}
+	}
+}
+
 func TestPlantedMeansSeparation(t *testing.T) {
 	mu := PlantedMeans(randgen.New(5), 4, 3, 8)
 	if len(mu) != 4 || len(mu[0]) != 3 {
