@@ -10,8 +10,12 @@
 //	mlbench [-figure fig1a] [-iters 2] [-scalediv 1] [-agree 3]
 //	mlbench -figure fig7                      # recovery table, 1 crash
 //	mlbench -figure fig2 -failures 2 -failat 0.25 -straggle 4
+//	mlbench -figure fig1a -traceout fig1a.json   # Chrome trace-event JSON
+//	mlbench -figure fig2 -metrics                # per-cell metric registry
 //
-// With no -figure, every figure runs in order.
+// With no -figure, every figure runs in order. -traceout/-tracecsv write
+// one file covering every figure that ran; open the JSON in
+// chrome://tracing or https://ui.perfetto.dev.
 package main
 
 import (
@@ -20,6 +24,7 @@ import (
 	"os"
 
 	"mlbench/internal/bench"
+	"mlbench/internal/trace"
 )
 
 func main() {
@@ -31,7 +36,10 @@ func main() {
 	loc := flag.Bool("loc", false, "print the lines-of-code table (the paper's LoC column analogue) and exit")
 	list := flag.Bool("list", false, "list the available figures and exit")
 	md := flag.Bool("md", false, "render tables as GitHub markdown (for EXPERIMENTS.md)")
-	trace := flag.Bool("trace", false, "print each cell's most expensive simulation phases (time, comm share, tasks)")
+	tracef := flag.Bool("trace", false, "print each cell's most expensive simulation phases (time, comm share, tasks)")
+	traceOut := flag.String("traceout", "", "write the structured run trace as Chrome trace-event JSON to this file (chrome://tracing / Perfetto)")
+	traceCSV := flag.String("tracecsv", "", "write the structured run trace as CSV to this file")
+	metrics := flag.Bool("metrics", false, "print the per-engine/cell/phase metrics registry after the tables")
 	failures := flag.Int("failures", 0, "machine crashes to inject into every cell (deterministic from -seed)")
 	failAt := flag.Float64("failat", 0.5, "iteration offset of the first crash (0.5 = mid-first-iteration)")
 	straggle := flag.Float64("straggle", 0, "slow one machine by this factor for the whole run (>1 to enable)")
@@ -56,10 +64,17 @@ func main() {
 		return
 	}
 
-	opts := bench.Options{Iterations: *iters, ScaleDiv: *scaleDiv, Seed: *seed, Trace: *trace,
+	opts := bench.Options{Iterations: *iters, ScaleDiv: *scaleDiv, Seed: *seed, Trace: *tracef,
 		HostWorkers: *workers,
 		Faults: bench.FaultConfig{Failures: *failures, FailAt: *failAt, Straggle: *straggle,
 			BSPCheckpointEvery: *ckpt, GASSnapshotEvery: *snap}}
+	// One command-owned recorder aggregates every figure that runs into a
+	// single export (each cell is its own trace process).
+	var rec *trace.Recorder
+	if *tracef || *traceOut != "" || *traceCSV != "" || *metrics {
+		rec = trace.NewRecorder()
+		opts.Recorder = rec
+	}
 
 	if *hostbench {
 		ids := []string{"fig4b"}
@@ -101,7 +116,7 @@ func main() {
 		} else {
 			fmt.Println(t.Render())
 		}
-		if *trace {
+		if *tracef {
 			for _, r := range t.Rows {
 				for _, c := range t.Cols {
 					cell := t.Cells[r][c]
@@ -123,5 +138,23 @@ func main() {
 	}
 	if len(figures) > 1 {
 		fmt.Printf("overall agreement: %d/%d cells within %.1fx\n", totalMatched, totalCells, *agree)
+	}
+
+	if *metrics {
+		fmt.Print(rec.Metrics().Render())
+	}
+	if *traceOut != "" {
+		if err := trace.WriteChromeFile(*traceOut, rec); err != nil {
+			fmt.Fprintf(os.Stderr, "traceout: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (open in chrome://tracing or https://ui.perfetto.dev)\n", *traceOut)
+	}
+	if *traceCSV != "" {
+		if err := trace.WriteCSVFile(*traceCSV, rec); err != nil {
+			fmt.Fprintf(os.Stderr, "tracecsv: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *traceCSV)
 	}
 }

@@ -1,0 +1,102 @@
+package bench
+
+import (
+	"testing"
+
+	"mlbench/internal/models/diag"
+	"mlbench/internal/sim"
+	"mlbench/internal/tasks/gmmtask"
+	"mlbench/internal/tasks/lassotask"
+	"mlbench/internal/tasks/task"
+)
+
+// Cross-engine statistical equivalence: the four platforms are different
+// execution strategies for the same Gibbs samplers over the same planted
+// data, so after burn-in their per-iteration quality chains must be draws
+// from the same distribution. Gelman-Rubin R-hat across the four chains
+// is the paper-standard way to check that, and ESS guards against a
+// degenerate (stuck) chain passing on variance alone.
+
+// equivCluster builds the cluster every engine runs on. Identical
+// machines/scale/seed means identical planted data across engines.
+func equivCluster(machines int, scale float64) *sim.Cluster {
+	cfg := sim.DefaultConfig(machines)
+	cfg.Scale = scale
+	return sim.New(cfg)
+}
+
+type engineRun struct {
+	name string
+	run  func(cl *sim.Cluster) (*task.Result, error)
+}
+
+// collectChains runs every engine, checks chain lengths and per-engine
+// ESS, and returns the post-burn-in, thinned chains in engine order.
+func collectChains(t *testing.T, machines int, scale float64, iters, burn, thin int, essFloor float64, runs []engineRun) [][]float64 {
+	t.Helper()
+	chains := make([][]float64, 0, len(runs))
+	for _, r := range runs {
+		cl := equivCluster(machines, scale)
+		res, err := r.run(cl)
+		if err != nil {
+			t.Fatalf("%s: %v", r.name, err)
+		}
+		if len(res.Chain) != iters {
+			t.Fatalf("%s: chain length = %d, want %d", r.name, len(res.Chain), iters)
+		}
+		var chain []float64
+		for i := burn; i < len(res.Chain); i += thin {
+			chain = append(chain, res.Chain[i])
+		}
+		if ess := diag.ESS(chain); ess < essFloor {
+			t.Errorf("%s: ESS = %.2f below floor %v — chain is stuck", r.name, ess, essFloor)
+		}
+		chains = append(chains, chain)
+	}
+	return chains
+}
+
+func TestCrossEngineGMMEquivalence(t *testing.T) {
+	cfg := gmmtask.Config{K: 2, D: 2, PointsPerMachine: 100_000, Iterations: 100, Seed: 99}
+	// GraphLab's gather/apply pipeline delivers memberships to the model
+	// update one round late, so its chain interleaves two subchains of
+	// period 2. Thinning every engine by the pipeline depth leaves one
+	// coherent subchain apiece; 31 rounds of burn-in is ample for this
+	// small, well-separated mixture.
+	const burn, thin = 31, 2
+	runs := []engineRun{
+		{"spark", func(cl *sim.Cluster) (*task.Result, error) { return gmmtask.RunSpark(cl, cfg, sim.ProfilePython) }},
+		{"simsql", func(cl *sim.Cluster) (*task.Result, error) { return gmmtask.RunSimSQL(cl, cfg) }},
+		{"graphlab", func(cl *sim.Cluster) (*task.Result, error) { return gmmtask.RunGraphLab(cl, cfg) }},
+		{"giraph", func(cl *sim.Cluster) (*task.Result, error) { return gmmtask.RunGiraph(cl, cfg) }},
+	}
+	chains := collectChains(t, 2, 1000, cfg.Iterations, burn, thin, 3, runs)
+	rhat, err := diag.RHat(chains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rhat > 1.1 {
+		t.Errorf("GMM log-likelihood chains disagree across engines: R-hat = %.4f, want < 1.1", rhat)
+	}
+}
+
+func TestCrossEngineLassoEquivalence(t *testing.T) {
+	cfg := lassotask.Config{P: 30, PointsPerMachine: 50_000, Iterations: 40, Lambda: 1, Seed: 7}
+	// The Bayesian Lasso posterior is unimodal and the paper notes it
+	// "converges very quickly": no thinning needed.
+	const burn, thin = 10, 1
+	runs := []engineRun{
+		{"spark", func(cl *sim.Cluster) (*task.Result, error) { return lassotask.RunSpark(cl, cfg) }},
+		{"simsql", func(cl *sim.Cluster) (*task.Result, error) { return lassotask.RunSimSQL(cl, cfg) }},
+		{"graphlab", func(cl *sim.Cluster) (*task.Result, error) { return lassotask.RunGraphLab(cl, cfg) }},
+		{"giraph", func(cl *sim.Cluster) (*task.Result, error) { return lassotask.RunGiraph(cl, cfg) }},
+	}
+	chains := collectChains(t, 2, 100, cfg.Iterations, burn, thin, 3, runs)
+	rhat, err := diag.RHat(chains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rhat > 1.1 {
+		t.Errorf("Lasso recovery-error chains disagree across engines: R-hat = %.4f, want < 1.1", rhat)
+	}
+}

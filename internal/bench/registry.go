@@ -2,10 +2,10 @@ package bench
 
 import (
 	"fmt"
-	"sort"
 
 	"mlbench/internal/faults"
 	"mlbench/internal/sim"
+	"mlbench/internal/trace"
 	"mlbench/internal/tasks/gmmtask"
 	"mlbench/internal/tasks/hmmtask"
 	"mlbench/internal/tasks/imputetask"
@@ -28,6 +28,22 @@ type Options struct {
 	// Trace records each cell's five most expensive simulation phases in
 	// its notes (the "-trace" CLI flag).
 	Trace bool
+	// TraceOut writes the full structured trace of every measured run as
+	// Chrome trace-event JSON to the given path (the "-traceout" CLI
+	// flag); load it in chrome://tracing or https://ui.perfetto.dev.
+	TraceOut string
+	// TraceCSV writes the same span/event stream as CSV (the "-tracecsv"
+	// CLI flag).
+	TraceCSV string
+	// Metrics collects the per-engine/cell/phase metrics registry; render
+	// it from the Recorder (the "-metrics" CLI flag).
+	Metrics bool
+	// Recorder, when non-nil, receives every cell's trace instead of a
+	// figure-owned recorder — set it to aggregate multiple figures into
+	// one export, as cmd/mlbench does. When nil and any of Trace,
+	// TraceOut, TraceCSV, or Metrics is set, Figure.Run makes its own
+	// recorder and handles the exports itself.
+	Recorder *trace.Recorder
 	// Faults injects machine crashes and stragglers into every cell (the
 	// "-failures"/"-failat"/"-straggle" CLI flags). Individual figures may
 	// override it per cell — the recovery figures (fig7 family) do.
@@ -49,6 +65,11 @@ func (o Options) withDefaults() Options {
 		o.Seed = 1
 	}
 	return o
+}
+
+// wantTrace reports whether any option requires a trace recorder.
+func (o Options) wantTrace() bool {
+	return o.Trace || o.TraceOut != "" || o.TraceCSV != "" || o.Metrics || o.Recorder != nil
 }
 
 // runFn executes one cell's simulation on a prepared cluster.
@@ -79,7 +100,9 @@ type Figure struct {
 	rows  []rowSpec
 }
 
-// newCluster builds the simulated cluster for a cell.
+// newCluster builds the simulated cluster for a cell's clean probe run.
+// Probe runs are never traced: only the measured run's spans should land
+// in the exported trace.
 func newCluster(machines int, scale float64, o Options) *sim.Cluster {
 	cfg := sim.DefaultConfig(machines)
 	cfg.Scale = scale / o.ScaleDiv
@@ -87,14 +110,14 @@ func newCluster(machines int, scale float64, o Options) *sim.Cluster {
 		cfg.Scale = 1
 	}
 	cfg.Seed = o.Seed
-	cfg.Trace = o.Trace
 	cfg.HostWorkers = o.HostWorkers
 	return sim.New(cfg)
 }
 
-// newFaultCluster builds a cell's cluster with a fault schedule and the
-// engines' checkpointing policies installed. A nil schedule with an
-// inactive config is exactly newCluster.
+// newFaultCluster builds a cell's measured cluster with the trace
+// recorder attached plus the fault schedule and the engines'
+// checkpointing policies. A nil schedule with an inactive config is
+// newCluster plus tracing.
 func newFaultCluster(machines int, scale float64, o Options, sched *faults.Schedule, fc FaultConfig) *sim.Cluster {
 	cfg := sim.DefaultConfig(machines)
 	cfg.Scale = scale / o.ScaleDiv
@@ -102,7 +125,7 @@ func newFaultCluster(machines int, scale float64, o Options, sched *faults.Sched
 		cfg.Scale = 1
 	}
 	cfg.Seed = o.Seed
-	cfg.Trace = o.Trace
+	cfg.Tracer = o.Recorder
 	cfg.HostWorkers = o.HostWorkers
 	cfg.Faults = sched
 	cfg.Recovery.BSPCheckpointEvery = interval(fc.BSPCheckpointEvery)
@@ -115,7 +138,7 @@ func newFaultCluster(machines int, scale float64, o Options, sched *faults.Sched
 // times, then the measured run re-executes with crashes scheduled at
 // absolute virtual times inside the measured window (and observed
 // recoveries recorded in the cell's notes).
-func runCell(c cellSpec, row string, o Options) Cell {
+func runCell(c cellSpec, figID, row string, o Options) Cell {
 	cell := Cell{
 		RowLabel:     row,
 		ColLabel:     c.col,
@@ -140,6 +163,10 @@ func runCell(c cellSpec, row string, o Options) Cell {
 			sched = fc.schedule(res.InitSec, res.AvgIterSec(), o.Iterations, c.machines, o.Seed)
 		}
 	}
+	cellName := figID + "/" + row + "/" + c.col
+	if o.Recorder != nil {
+		o.Recorder.BeginCell(cellName)
+	}
 	cl := newFaultCluster(c.machines, c.scale, o, sched, fc)
 	res, err := c.run(cl)
 	if err != nil {
@@ -159,15 +186,23 @@ func runCell(c cellSpec, row string, o Options) Cell {
 		cell.Notes = append(cell.Notes, fmt.Sprintf("fault: %s, observed at %s in %q, recovery %s",
 			f.Event, FormatDuration(f.ObservedAt), f.Phase, FormatDuration(f.RecoverySec)))
 	}
-	if o.Trace {
-		cell.Notes = append(cell.Notes, topPhases(cl, 5)...)
+	if o.Trace && o.Recorder != nil {
+		cell.Notes = append(cell.Notes, trace.TopPhases(o.Recorder, cellName, 5, FormatDuration)...)
 	}
 	return cell
 }
 
-// Run executes the figure and returns the rendered table.
+// Run executes the figure and returns the rendered table. When a tracing
+// option is set and no shared Recorder was supplied, the figure owns one
+// for the duration of the run and performs any file exports itself;
+// export errors land in the table's notes.
 func (f *Figure) Run(o Options) *Table {
 	o = o.withDefaults()
+	owned := false
+	if o.Recorder == nil && o.wantTrace() {
+		o.Recorder = trace.NewRecorder()
+		owned = true
+	}
 	t := &Table{ID: f.ID, Title: f.Title, Cells: map[string]map[string]Cell{}}
 	for _, r := range f.rows {
 		t.Rows = append(t.Rows, r.label)
@@ -176,7 +211,22 @@ func (f *Figure) Run(o Options) *Table {
 			if !contains(t.Cols, c.col) {
 				t.Cols = append(t.Cols, c.col)
 			}
-			t.Cells[r.label][c.col] = runCell(c, r.label, o)
+			t.Cells[r.label][c.col] = runCell(c, f.ID, r.label, o)
+		}
+	}
+	if owned {
+		if o.TraceOut != "" {
+			if err := trace.WriteChromeFile(o.TraceOut, o.Recorder); err != nil {
+				t.Notes = append(t.Notes, "trace export failed: "+err.Error())
+			}
+		}
+		if o.TraceCSV != "" {
+			if err := trace.WriteCSVFile(o.TraceCSV, o.Recorder); err != nil {
+				t.Notes = append(t.Notes, "trace CSV export failed: "+err.Error())
+			}
+		}
+		if o.Metrics {
+			t.Notes = append(t.Notes, o.Recorder.Metrics().Render())
 		}
 	}
 	return t
@@ -548,47 +598,3 @@ func fig6(o Options) *Figure {
 	}
 }
 
-// topPhases summarizes the n most expensive phases of a traced cluster
-// run, merging phases with the same name. Each line carries the phase's
-// total virtual time, its communication share, and its task count.
-func topPhases(cl *sim.Cluster, n int) []string {
-	type agg struct {
-		sec   float64
-		comm  float64
-		tasks int
-	}
-	totals := map[string]*agg{}
-	for _, ph := range cl.Trace {
-		a := totals[ph.Name]
-		if a == nil {
-			a = &agg{}
-			totals[ph.Name] = a
-		}
-		a.sec += ph.Seconds
-		a.comm += ph.CommSec
-		a.tasks += ph.Tasks
-	}
-	type kv struct {
-		name string
-		agg  *agg
-	}
-	var all []kv
-	for name, a := range totals {
-		all = append(all, kv{name, a})
-	}
-	sort.Slice(all, func(i, j int) bool {
-		if all[i].agg.sec != all[j].agg.sec {
-			return all[i].agg.sec > all[j].agg.sec
-		}
-		return all[i].name < all[j].name
-	})
-	if len(all) > n {
-		all = all[:n]
-	}
-	out := make([]string, 0, len(all))
-	for _, e := range all {
-		out = append(out, fmt.Sprintf("phase %-28s %s  comm %s  tasks %d",
-			e.name, FormatDuration(e.agg.sec), FormatDuration(e.agg.comm), e.agg.tasks))
-	}
-	return out
-}

@@ -114,6 +114,7 @@ func NewGraph(c *sim.Cluster) *Graph {
 		ckptEvery:   c.Config().Recovery.BSPCheckpointEvery,
 	}
 	c.SetFaultHandler(g.handleFault)
+	c.SetEngineLabel("giraph")
 	return g
 }
 
@@ -312,7 +313,7 @@ func (g *Graph) RunSuperstep(compute Compute) error {
 		}
 	}
 	t0, rec0 := g.c.Now(), recoveredSec(g.c)
-	g.c.Advance(cost.BSPSuperstep)
+	g.c.AdvanceNamed("bsp-superstep-launch", cost.BSPSuperstep)
 	machines := g.c.NumMachines()
 	inflight := float64(machines) / (float64(machines) + cost.BSPInflightHalfM)
 
@@ -378,12 +379,19 @@ func (g *Graph) RunSuperstep(compute Compute) error {
 			}
 		}
 		// Network for staged sends (combined volume).
+		var msgCount, msgBytes float64
 		stage.Each(func(dst VertexID, p pending) {
 			dm := g.Vertex(dst).machine
 			if dm != machine {
 				m.SendModel(dm, p.simBytes)
+				msgCount++
+				msgBytes += p.simBytes
 			}
 		})
+		if msgCount > 0 {
+			m.Count("messages", msgCount)
+			m.Count("message_bytes", msgBytes)
+		}
 		return nil
 	})
 	if err != nil {

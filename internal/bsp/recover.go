@@ -42,6 +42,7 @@ func (g *Graph) checkpoint() error {
 		if c.NumMachines() > 1 {
 			m.SendModel((machine+1)%c.NumMachines(), bytes)
 		}
+		m.Count("checkpoint_bytes", bytes)
 		return nil
 	})
 	if err != nil {
@@ -80,6 +81,7 @@ func (g *Graph) handleFault(sim.FaultInfo) error {
 	for _, s := range g.stepSecs {
 		replay += s
 	}
-	g.c.Advance(restore + replay)
+	g.c.AdvanceNamed("bsp-rollback-restore", restore)
+	g.c.AdvanceNamed("bsp-replay-supersteps", replay)
 	return nil
 }

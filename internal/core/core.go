@@ -11,6 +11,13 @@
 //	table, err := core.RunFigure("fig1a", opts)
 //	fmt.Println(table.Render())
 //
+// Observability: set Options.TraceOut (Chrome trace-event JSON for
+// chrome://tracing / Perfetto), Options.TraceCSV, or Options.Metrics to
+// capture a structured span/event/metric view of a run, or supply your
+// own Options.Recorder (see internal/trace) to aggregate several figures
+// into one export. Traces are deterministic: the same options produce
+// byte-identical files at any Options.HostWorkers value.
+//
 // Individual experiments are available through the task packages
 // (internal/tasks/...); the simulated platform substrates live in
 // internal/dataflow (Spark), internal/relational (SimSQL), internal/gas

@@ -25,7 +25,7 @@ func (r *RDD[T]) runAction(name string, fn func(p int, m *sim.Meter, data []T) e
 		return err
 	}
 	c := r.ctx.cluster
-	c.Advance(c.Config().Cost.SparkJobLaunch)
+	c.AdvanceNamed("spark-job-launch", c.Config().Cost.SparkJobLaunch)
 	datas := make([][]T, r.parts)
 	tasks := r.partTasks(func(p int, m *sim.Meter) error {
 		data, err := r.partition(p, m)

@@ -41,6 +41,7 @@ type Context struct {
 func NewContext(c *sim.Cluster, profile sim.Profile) *Context {
 	ctx := &Context{cluster: c, profile: profile}
 	c.SetFaultHandler(ctx.handleFault)
+	c.SetEngineLabel("spark")
 	return ctx
 }
 
@@ -81,6 +82,7 @@ func (ctx *Context) Broadcast(bytes int64, what string) error {
 	err := ctx.cluster.RunPhaseF("broadcast "+what, func(machine int, m *sim.Meter) error {
 		if n > 1 {
 			m.SendModel((machine+1)%n, float64(bytes)) // relay ring
+			m.Count("broadcast_bytes", float64(bytes))
 		}
 		return m.AllocModel(bytes, "broadcast: "+what)
 	})
@@ -281,7 +283,7 @@ func (r *RDD[T]) materializeAll() error {
 	bytes := make([]int64, r.parts)
 	c := r.ctx.cluster
 	t0 := c.Now()
-	c.Advance(c.Config().Cost.SparkJobLaunch)
+	c.AdvanceNamed("spark-job-launch", c.Config().Cost.SparkJobLaunch)
 	err := c.RunPhase("materialize "+r.name, r.partTasks(func(p int, m *sim.Meter) error {
 		data, err := r.partition(p, m)
 		if err != nil {

@@ -33,9 +33,9 @@ func (ctx *Context) register(r recoverable) {
 // executor, and rebuilds lost partitions in materialization order.
 func (ctx *Context) handleFault(f sim.FaultInfo) error {
 	c := ctx.cluster
-	c.Advance(c.Config().Cost.SparkJobLaunch)
+	c.AdvanceNamed("spark-resubmit", c.Config().Cost.SparkJobLaunch)
 	if ctx.bcastBytes > 0 {
-		c.Advance(float64(ctx.bcastBytes) / c.Config().Net.BytesPerSec)
+		c.AdvanceNamed("spark-reship-broadcast", float64(ctx.bcastBytes)/c.Config().Net.BytesPerSec)
 	}
 	for _, r := range ctx.recov {
 		if err := r.recoverLost(f.Event.Machine); err != nil {

@@ -77,7 +77,7 @@ func Join[K comparable, V, W any](a *RDD[Pair[K, V]], b *RDD[Pair[K, W]]) *RDD[P
 	out.wide = func() error {
 		c := a.ctx.cluster
 		t0 := c.Now()
-		c.Advance(c.Config().Cost.SparkJobLaunch)
+		c.AdvanceNamed("spark-job-launch", c.Config().Cost.SparkJobLaunch)
 
 		type sides struct {
 			left  []V
@@ -209,7 +209,7 @@ func runShuffle[K comparable, V, A, O any](
 	c := in.ctx.cluster
 	cost := c.Config().Cost
 	t0 := c.Now()
-	c.Advance(cost.SparkJobLaunch)
+	c.AdvanceNamed("spark-job-launch", cost.SparkJobLaunch)
 
 	reducers := make([]*omap[K, A], out.parts)
 	partialBytes := make([]int64, out.parts) // pre-merge resident partials per reducer
@@ -314,11 +314,14 @@ func runShuffle[K comparable, V, A, O any](
 // shipBytes records a shuffle transfer, scaled if the RDD is
 // data-proportional.
 func shipBytes(m *sim.Meter, scaled bool, dstMachine int, bytes int64) {
+	b := float64(bytes)
 	if scaled {
-		m.SendData(dstMachine, float64(bytes))
+		m.SendData(dstMachine, b)
+		b *= m.Scale()
 	} else {
-		m.SendModel(dstMachine, float64(bytes))
+		m.SendModel(dstMachine, b)
 	}
+	m.Count("shuffle_bytes", b)
 }
 
 // tasksFor builds one task per partition for an RDD-shaped phase without

@@ -191,6 +191,7 @@ func NewGraph(c *sim.Cluster, edges EdgeSet) *Graph {
 		snapEvery: c.Config().Recovery.GASSnapshotEvery,
 	}
 	c.SetFaultHandler(g.handleFault)
+	c.SetEngineLabel("graphlab")
 	return g
 }
 
@@ -293,7 +294,7 @@ func (g *Graph) RunRound(prog Program, active []VertexID) error {
 		}
 	}
 	t0, rec0 := g.c.Now(), recoveredSec(g.c)
-	g.c.Advance(g.c.Config().Cost.GASRound)
+	g.c.AdvanceNamed("gas-round-launch", g.c.Config().Cost.GASRound)
 
 	actByMach := make([][]*Vertex, g.machines)
 	if active == nil {
@@ -451,8 +452,13 @@ func (g *Graph) chargeGhostTraffic(prog Program, actByMach [][]*Vertex) error {
 		if machine >= g.machines {
 			return nil
 		}
+		var ghostBytes float64
 		for _, f := range bySrc[machine] {
 			m.SendModel(f.dst, f.bytes)
+			ghostBytes += f.bytes
+		}
+		if ghostBytes > 0 {
+			m.Count("ghost_bytes", ghostBytes)
 		}
 		return nil
 	})

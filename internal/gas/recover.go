@@ -88,11 +88,12 @@ func (g *Graph) handleFault(f sim.FaultInfo) error {
 		replay += s
 	}
 	if !g.haveSnap {
-		c.Advance(g.loadSec + replay)
+		c.AdvanceNamed("gas-restart", g.loadSec+replay)
 		return nil
 	}
 	state := g.machineStateBytes(victim)
 	restore := state/cost.DiskBytesPerSec + state/c.Config().Net.BytesPerSec
-	c.Advance(restore + cost.GASReplayFrac*replay)
+	c.AdvanceNamed("gas-snapshot-restore", restore)
+	c.AdvanceNamed("gas-replay-rounds", cost.GASReplayFrac*replay)
 	return nil
 }

@@ -51,9 +51,16 @@ func Autocorr(xs []float64, lag int) float64 {
 
 // ESS estimates the effective sample size with Geyer's initial positive
 // sequence: sums of adjacent autocorrelation pairs are accumulated while
-// they remain positive.
+// they remain positive. A constant chain carries one independent draw's
+// worth of information, so it reports 1, not n.
 func ESS(xs []float64) float64 {
 	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	if _, v := MeanVar(xs); v == 0 {
+		return 1
+	}
 	if n < 4 {
 		return float64(n)
 	}
@@ -105,6 +112,12 @@ func RHat(chains [][]float64) (float64, error) {
 	}
 	w /= float64(m)
 	if w == 0 {
+		// Zero within-chain variance: every chain is constant. If the
+		// constants differ the chains can never mix (infinite scale
+		// reduction); if they agree exactly, R-hat is 1 by convention.
+		if b > 0 {
+			return math.Inf(1), nil
+		}
 		return 1, nil
 	}
 	varPlus := (float64(n-1)/float64(n))*w + b/float64(n)

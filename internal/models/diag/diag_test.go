@@ -72,9 +72,39 @@ func TestESSBounds(t *testing.T) {
 	if got := ESS([]float64{1, 2}); got != 2 {
 		t.Errorf("short chain ESS = %v", got)
 	}
+	if got := ESS(nil); got != 0 {
+		t.Errorf("empty chain ESS = %v, want 0", got)
+	}
+	// A constant chain carries exactly one draw's worth of information.
 	constant := make([]float64, 100)
-	if got := ESS(constant); got < 1 || got > 100 {
-		t.Errorf("constant chain ESS = %v out of bounds", got)
+	if got := ESS(constant); got != 1 {
+		t.Errorf("constant chain ESS = %v, want 1", got)
+	}
+	for i := range constant {
+		constant[i] = 7.5
+	}
+	if got := ESS(constant); got != 1 {
+		t.Errorf("nonzero constant chain ESS = %v, want 1", got)
+	}
+}
+
+func TestRHatConstantChains(t *testing.T) {
+	// Identical constant chains are trivially mixed.
+	same, err := RHat([][]float64{{2, 2, 2}, {2, 2, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same != 1 {
+		t.Errorf("identical constant chains R-hat = %v, want 1", same)
+	}
+	// Constant chains stuck at different values can never mix — this used
+	// to report a perfect 1 because within-chain variance is zero.
+	apart, err := RHat([][]float64{{1, 1, 1}, {5, 5, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(apart, 1) {
+		t.Errorf("separated constant chains R-hat = %v, want +Inf", apart)
 	}
 }
 

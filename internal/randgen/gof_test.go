@@ -1,0 +1,198 @@
+package randgen
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"mlbench/internal/linalg"
+)
+
+// This file is a goodness-of-fit battery for the samplers the Gibbs
+// chains lean on. Each test draws from a distribution with a closed-form
+// CDF (or a closed-form reduction to one) and applies a Kolmogorov-
+// Smirnov or chi-squared test. Seeds are fixed, so a pass is
+// deterministic; thresholds sit at the alpha ~ 0.001 critical values so
+// a genuine sampler bug — not sampling noise — is what trips them.
+
+// ksStat returns the Kolmogorov-Smirnov statistic sup |F_n(x) - F(x)| of
+// the empirical distribution of xs against the CDF.
+func ksStat(xs []float64, cdf func(float64) float64) float64 {
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	n := float64(len(sorted))
+	var d float64
+	for i, x := range sorted {
+		f := cdf(x)
+		if hi := (float64(i)+1)/n - f; hi > d {
+			d = hi
+		}
+		if lo := f - float64(i)/n; lo > d {
+			d = lo
+		}
+	}
+	return d
+}
+
+// checkKS fails when the KS statistic exceeds the alpha = 0.001 critical
+// value 1.95/sqrt(n).
+func checkKS(t *testing.T, name string, xs []float64, cdf func(float64) float64) {
+	t.Helper()
+	d := ksStat(xs, cdf)
+	crit := 1.95 / math.Sqrt(float64(len(xs)))
+	if d > crit {
+		t.Errorf("%s: KS statistic %.5f exceeds critical value %.5f (n=%d)", name, d, crit, len(xs))
+	}
+}
+
+func stdNormCDF(x float64) float64 { return 0.5 * (1 + math.Erf(x/math.Sqrt2)) }
+
+// TestDirichletMarginalGoF checks the Dirichlet against its marginal law:
+// for alpha = (1, ..., 1) over K components, each coordinate is
+// Beta(1, K-1) with CDF 1 - (1-x)^(K-1).
+func TestDirichletMarginalGoF(t *testing.T) {
+	const k, n = 5, 6000
+	rng := New(11)
+	alpha := make([]float64, k)
+	for i := range alpha {
+		alpha[i] = 1
+	}
+	xs := make([]float64, n)
+	for i := range xs {
+		v := rng.Dirichlet(alpha)
+		var sum float64
+		for _, p := range v {
+			if p < 0 {
+				t.Fatalf("negative Dirichlet coordinate %v", p)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Fatalf("Dirichlet draw sums to %v", sum)
+		}
+		xs[i] = v[0]
+	}
+	checkKS(t, "Dirichlet(1,...,1) marginal", xs, func(x float64) float64 {
+		switch {
+		case x <= 0:
+			return 0
+		case x >= 1:
+			return 1
+		}
+		return 1 - math.Pow(1-x, k-1)
+	})
+}
+
+// TestDirichletArgmaxUniform is the chi-squared half of the Dirichlet
+// check: under a symmetric alpha the largest coordinate is uniform over
+// the K positions.
+func TestDirichletArgmaxUniform(t *testing.T) {
+	const k, n = 4, 8000
+	rng := New(12)
+	alpha := []float64{0.7, 0.7, 0.7, 0.7}
+	counts := make([]float64, k)
+	for i := 0; i < n; i++ {
+		v := rng.Dirichlet(alpha)
+		best := 0
+		for j := 1; j < k; j++ {
+			if v[j] > v[best] {
+				best = j
+			}
+		}
+		counts[best]++
+	}
+	var chi2 float64
+	exp := float64(n) / k
+	for _, c := range counts {
+		d := c - exp
+		chi2 += d * d / exp
+	}
+	// Chi-squared with k-1 = 3 degrees of freedom: 16.27 at alpha = 0.001.
+	if chi2 > 16.27 {
+		t.Errorf("Dirichlet argmax not uniform: chi2 = %.2f, counts = %v", chi2, counts)
+	}
+}
+
+// TestInvGammaGoF checks InvGamma(3, b) against its closed-form CDF: with
+// integer shape k the underlying Gamma is Erlang, so
+// P(X <= x) = P(G >= 1/x) = e^(-b/x) * sum_{i<k} (b/x)^i / i!.
+func TestInvGammaGoF(t *testing.T) {
+	const n = 6000
+	const b = 2.5
+	rng := New(13)
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.InvGamma(3, b)
+		if xs[i] <= 0 {
+			t.Fatalf("non-positive InvGamma draw %v", xs[i])
+		}
+	}
+	checkKS(t, "InvGamma(3, 2.5)", xs, func(x float64) float64 {
+		if x <= 0 {
+			return 0
+		}
+		g := b / x
+		return math.Exp(-g) * (1 + g + g*g/2)
+	})
+}
+
+// TestInvGaussianGoF checks the Wald sampler against the closed-form
+// inverse Gaussian CDF
+// F(x) = Phi(sqrt(l/x)(x/mu - 1)) + e^(2l/mu) Phi(-sqrt(l/x)(x/mu + 1)).
+func TestInvGaussianGoF(t *testing.T) {
+	const n = 6000
+	const mu, lambda = 1.5, 2.0
+	rng := New(14)
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.InvGaussian(mu, lambda)
+		if xs[i] <= 0 {
+			t.Fatalf("non-positive InvGaussian draw %v", xs[i])
+		}
+	}
+	checkKS(t, "InvGaussian(1.5, 2)", xs, func(x float64) float64 {
+		if x <= 0 {
+			return 0
+		}
+		s := math.Sqrt(lambda / x)
+		return stdNormCDF(s*(x/mu-1)) + math.Exp(2*lambda/mu)*stdNormCDF(-s*(x/mu+1))
+	})
+}
+
+// TestMVNormalWhitenedGoF checks the multivariate normal by whitening:
+// solving L z = x - mu against the Cholesky factor of the covariance must
+// recover iid standard normals with vanishing cross-correlation.
+func TestMVNormalWhitenedGoF(t *testing.T) {
+	const n = 4000
+	rng := New(15)
+	mu := linalg.Vec{1, -2}
+	cov := linalg.NewMat(2, 2)
+	cov.Set(0, 0, 2)
+	cov.Set(0, 1, 0.6)
+	cov.Set(1, 0, 0.6)
+	cov.Set(1, 1, 1)
+	l, err := linalg.Cholesky(cov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z0 := make([]float64, n)
+	z1 := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x, err := rng.MVNormal(mu, cov)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Forward substitution: L z = x - mu.
+		z0[i] = (x[0] - mu[0]) / l.At(0, 0)
+		z1[i] = (x[1] - mu[1] - l.At(1, 0)*z0[i]) / l.At(1, 1)
+	}
+	checkKS(t, "whitened MVN component 0", z0, stdNormCDF)
+	checkKS(t, "whitened MVN component 1", z1, stdNormCDF)
+	var dot float64
+	for i := range z0 {
+		dot += z0[i] * z1[i]
+	}
+	if r := dot / float64(n); math.Abs(r) > 0.06 {
+		t.Errorf("whitened components correlated: r = %.4f", r)
+	}
+}

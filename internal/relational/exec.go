@@ -28,6 +28,7 @@ func NewEngine(c *sim.Cluster) *Engine {
 	e := &Engine{c: c, root: randgen.New(c.Config().Seed ^ 0x51351c1)}
 	c.SetFaultHandler(e.handleFault)
 	c.SetStragglerCap(c.Config().Cost.MRSpecExecCap)
+	c.SetEngineLabel("simsql")
 	return e
 }
 
@@ -64,6 +65,23 @@ func chargeCombine(m *sim.Meter, c *sim.Cluster, rows float64, scaled bool) {
 		rows *= c.Scale()
 	}
 	m.ChargeSec(rows * c.Config().Cost.SQLCombineSec)
+}
+
+// countShuffle records the logical shuffle volume of one map task — rows
+// repartitioned and their paper-scale bytes — in the trace metrics
+// registry (no cost; SendData/SendModel already charged the network).
+func countShuffle(m *sim.Meter, rows int, width int, scaled bool) {
+	if rows == 0 {
+		return
+	}
+	r := float64(rows)
+	bytes := r * float64(tupleBytes(width))
+	if scaled {
+		r *= m.Scale()
+		bytes *= m.Scale()
+	}
+	m.Count("shuffle_rows", r)
+	m.Count("shuffle_bytes", bytes)
 }
 
 // chargeDisk charges streaming n rows of the given width to/from local
@@ -186,6 +204,7 @@ func (e *Engine) repartition(name string, in *Table, keyCols []int) ([][]Tuple, 
 			}
 			local[dst] = append(local[dst], t)
 		}
+		countShuffle(m, len(rows), width, in.Scaled)
 		chargeDisk(m, e.c, len(rows), width, in.Scaled) // write map output
 		locals[machine] = local
 		return nil
@@ -207,7 +226,7 @@ func (n *hashJoinNode) run(e *Engine) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	e.c.Advance(e.c.Config().Cost.MRJobLaunch)
+	e.c.AdvanceNamed("mr-job-launch", e.c.Config().Cost.MRJobLaunch)
 	lParts, err := e.repartition("join-shuffle-left", l, n.lCols)
 	if err != nil {
 		return nil, err
@@ -262,7 +281,7 @@ func (n *arithJoinNode) run(e *Engine) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	e.c.Advance(e.c.Config().Cost.MRJobLaunch)
+	e.c.AdvanceNamed("mr-job-launch", e.c.Config().Cost.MRJobLaunch)
 	// Cross product: the full right side is replicated to every machine,
 	// then every (left, right) pair is evaluated. This is the quirk plan;
 	// its cost is quadratic in paper-scale cardinality.
@@ -407,7 +426,7 @@ func (n *groupAggNode) run(e *Engine) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	e.c.Advance(e.c.Config().Cost.MRJobLaunch)
+	e.c.AdvanceNamed("mr-job-launch", e.c.Config().Cost.MRJobLaunch)
 	width := len(in.Schema)
 	// Map side with combining: one partial aggregate per (machine, group).
 	// Partials route to their reducers in the Merge hooks, in machine
@@ -446,6 +465,7 @@ func (n *groupAggNode) run(e *Engine) (*Table, error) {
 				m.SendModel(dst, bytes)
 			}
 		})
+		countShuffle(m, local.Len(), outWidth, n.scaled())
 		chargeRows(m, local.Len(), n.scaled())
 		localAggs[machine] = local
 		return nil
@@ -493,7 +513,7 @@ func (n *expandAggNode) run(e *Engine) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	e.c.Advance(e.c.Config().Cost.MRJobLaunch)
+	e.c.AdvanceNamed("mr-job-launch", e.c.Config().Cost.MRJobLaunch)
 	// Map side: expand each row straight into a local sum map (the fused
 	// combiner); generated rows are charged at the combiner rate only.
 	partials := make([]*ordmap.Map[keyRef, Tuple], e.machines())
@@ -532,6 +552,7 @@ func (n *expandAggNode) run(e *Engine) (*Table, error) {
 				m.SendModel(dst, bytes)
 			}
 		})
+		countShuffle(m, local.Len(), outWidth, n.scaled())
 		chargeRows(m, local.Len(), n.scaled())
 		localMaps[machine] = local
 		return nil
@@ -616,7 +637,7 @@ func (n *vgApplyNode) run(e *Engine) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	e.c.Advance(e.c.Config().Cost.MRJobLaunch)
+	e.c.AdvanceNamed("mr-job-launch", e.c.Config().Cost.MRJobLaunch)
 	e.seq++
 	seq := e.seq
 

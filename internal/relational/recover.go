@@ -16,7 +16,7 @@ import (
 
 // handleFault is the engine's sim.FaultHandler: re-run the failed task.
 func (e *Engine) handleFault(f sim.FaultInfo) error {
-	e.c.Advance(f.LostSec + e.c.Config().Cost.MRTaskRetrySec)
+	e.c.AdvanceNamed("mr-task-rerun", f.LostSec+e.c.Config().Cost.MRTaskRetrySec)
 	e.recoveries++
 	return nil
 }

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"mlbench/internal/faults"
+	"mlbench/internal/trace"
 )
 
 // This file is the cluster side of the fault-injection subsystem
@@ -140,7 +141,22 @@ func (c *Cluster) settleFaults(phase string, start float64, machineSec []float64
 			lost = frac * machineSec[ev.Machine]
 		}
 		info := FaultInfo{Event: ev, Phase: phase, ObservedAt: end, LostSec: lost}
-		c.Advance(c.cfg.Cost.FaultDetectSec)
+		rec := c.cfg.Tracer
+		if rec != nil {
+			rec.AddEvent("crash", trace.KindFault, ev.Machine, ev.At,
+				trace.A("observed_at", end), trace.A("lost_sec", lost))
+			if lost > 0 {
+				rec.AddSpan("lost-work", trace.CatFault, ev.Machine, ev.At, lost,
+					trace.A("phase_frac", lost/machineSec[ev.Machine]))
+			}
+		}
+		// Detection latency is an overhead span ("fault-detect"); the
+		// handler's own charges — recovery phases and advances — emit their
+		// usual spans, and the "recovery" fault span brackets them without
+		// adding clock time, so the clock identity still holds. Its duration
+		// plus FaultDetectSec equals the FaultInfo.RecoverySec reported in
+		// the fig7 tables.
+		c.AdvanceNamed("fault-detect", c.cfg.Cost.FaultDetectSec)
 		before := c.clock
 		if c.onFault != nil && firstErr == nil {
 			if err := c.onFault(info); err != nil {
@@ -148,6 +164,10 @@ func (c *Cluster) settleFaults(phase string, start float64, machineSec []float64
 			}
 		}
 		info.RecoverySec = c.cfg.Cost.FaultDetectSec + (c.clock - before)
+		if rec != nil {
+			rec.AddSpan("recovery", trace.CatFault, ev.Machine, before, c.clock-before,
+				trace.A("lost_sec", lost), trace.A("detect_sec", c.cfg.Cost.FaultDetectSec))
+		}
 		c.faultLog = append(c.faultLog, info)
 	}
 	return firstErr

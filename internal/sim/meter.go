@@ -1,6 +1,9 @@
 package sim
 
-import "mlbench/internal/randgen"
+import (
+	"mlbench/internal/randgen"
+	"mlbench/internal/trace"
+)
 
 // Meter accumulates the virtual cost of one task: compute seconds
 // (parallel and serial), simulated bytes sent/received, and simulated
@@ -20,6 +23,8 @@ type Meter struct {
 	serSec  float64
 	serial  bool
 	sends   []sendRec
+	events  []evRec
+	counts  []ctRec
 }
 
 // sendRec is one buffered network transfer. Sends are not applied to the
@@ -29,6 +34,26 @@ type Meter struct {
 type sendRec struct {
 	dst   int
 	bytes float64
+}
+
+// evRec is one buffered trace event. Like sends, events are held on the
+// meter while the task runs and replayed into the shared Recorder at the
+// phase barrier in global task order, so the exported trace is
+// byte-identical for every host worker count. The offset is the task's
+// accumulated compute time when the event was emitted, placing it at an
+// approximate position inside the phase span.
+type evRec struct {
+	name   string
+	kind   string
+	offset float64
+	args   []trace.Arg
+}
+
+// ctRec is one buffered metric sample (counter increment or gauge set).
+type ctRec struct {
+	name  string
+	val   float64
+	gauge bool
 }
 
 // Machine returns the machine this task runs on.
@@ -143,6 +168,57 @@ func (t *Meter) apply(perMachinePar, perMachineSer []float64) {
 	for _, s := range t.sends {
 		t.machine.phaseSent += s.bytes
 		t.cluster.machines[s.dst].phaseRecv += s.bytes
+	}
+}
+
+// Emit records a typed trace event (e.g. a checkpoint write or a shuffle
+// round) against this task. No-op unless the cluster has a Tracer. The
+// event is buffered and replayed at the phase barrier — see evRec.
+func (t *Meter) Emit(kind, name string, args ...trace.Arg) {
+	if t.cluster.cfg.Tracer == nil {
+		return
+	}
+	t.events = append(t.events, evRec{name: name, kind: kind, offset: t.parSec + t.serSec, args: args})
+}
+
+// Count adds v to the named per-phase metric counter (keyed by the
+// cluster's engine label and the active benchmark cell). No-op unless the
+// cluster has a Tracer; buffered and applied at the phase barrier.
+func (t *Meter) Count(name string, v float64) {
+	if t.cluster.cfg.Tracer == nil {
+		return
+	}
+	t.counts = append(t.counts, ctRec{name: name, val: v})
+}
+
+// Gauge sets the named per-phase metric gauge (last write in global task
+// order wins). No-op unless the cluster has a Tracer.
+func (t *Meter) Gauge(name string, v float64) {
+	if t.cluster.cfg.Tracer == nil {
+		return
+	}
+	t.counts = append(t.counts, ctRec{name: name, val: v, gauge: true})
+}
+
+// flushTrace replays this task's buffered events and metric samples into
+// the recorder at the phase barrier. Called on the host goroutine in
+// global task order, only for tasks up to the failure cut, mirroring
+// apply. Event offsets are clamped to the phase duration so instants
+// never land outside their phase span.
+func (t *Meter) flushTrace(rec *trace.Recorder, phase string, start, dur float64) {
+	for _, e := range t.events {
+		off := e.offset
+		if off > dur {
+			off = dur
+		}
+		rec.AddEvent(e.name, e.kind, t.machine.id, start+off, e.args...)
+	}
+	for _, s := range t.counts {
+		if s.gauge {
+			rec.Gauge(phase, s.name, s.val)
+		} else {
+			rec.Count(phase, s.name, s.val)
+		}
 	}
 }
 

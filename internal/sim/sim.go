@@ -38,6 +38,7 @@ import (
 
 	"mlbench/internal/faults"
 	"mlbench/internal/randgen"
+	"mlbench/internal/trace"
 )
 
 // logf is ln(n) for a positive machine count.
@@ -58,7 +59,13 @@ type Config struct {
 	Net      Network
 	Cost     CostModel
 	Seed     uint64
-	Trace    bool // record per-phase statistics in Cluster.Trace
+	// Tracer, when non-nil, receives a structured span/event stream of the
+	// run (phase spans, per-machine task spans, overhead spans, fault
+	// spans) plus the metrics engines emit through the Meter; see
+	// internal/trace. All recording happens at phase barriers in
+	// deterministic order, so traces are byte-identical at any HostWorkers
+	// count.
+	Tracer *trace.Recorder
 	// Faults is the deterministic fault-injection schedule (nil = none);
 	// see internal/faults and this package's faults.go.
 	Faults *faults.Schedule
@@ -154,21 +161,11 @@ func (m *Machine) Free(bytes int64) {
 	}
 }
 
-// PhaseStat records the outcome of one executed phase when tracing is on.
-type PhaseStat struct {
-	Name       string
-	Seconds    float64 // virtual duration of the phase
-	ComputeSec float64 // max per-machine compute component
-	CommSec    float64 // max per-machine communication component
-	Tasks      int
-}
-
 // Cluster is a simulated cluster with a virtual clock.
 type Cluster struct {
 	cfg      Config
 	machines []*Machine
 	clock    float64
-	Trace    []PhaseStat
 
 	// Fault-injection state (see faults.go).
 	crashes      []faults.Event
@@ -226,11 +223,32 @@ func (c *Cluster) Scale() float64 { return c.cfg.Scale }
 // Now returns the virtual clock in seconds.
 func (c *Cluster) Now() float64 { return c.clock }
 
+// Tracer returns the attached trace recorder (nil when tracing is off).
+func (c *Cluster) Tracer() *trace.Recorder { return c.cfg.Tracer }
+
+// SetEngineLabel tags subsequently recorded metric samples with the
+// running platform engine's name. Engines call it at construction; it is
+// a no-op when tracing is off.
+func (c *Cluster) SetEngineLabel(name string) {
+	if c.cfg.Tracer != nil {
+		c.cfg.Tracer.SetEngine(name)
+	}
+}
+
 // Advance moves the virtual clock forward, e.g. for a framework job-launch
 // overhead that is not tied to any one machine.
-func (c *Cluster) Advance(sec float64) {
+func (c *Cluster) Advance(sec float64) { c.AdvanceNamed("advance", sec) }
+
+// AdvanceNamed moves the virtual clock forward like Advance and, when
+// tracing, records the interval as a named overhead span — this is how
+// job launches, superstep latencies, and detection timeouts become
+// attributable in a trace rather than anonymous clock jumps.
+func (c *Cluster) AdvanceNamed(name string, sec float64) {
 	if sec < 0 {
 		panic("sim: negative clock advance")
+	}
+	if c.cfg.Tracer != nil && sec > 0 {
+		c.cfg.Tracer.AddSpan(name, trace.CatOverhead, -1, c.clock, sec)
 	}
 	c.clock += sec
 }
@@ -372,8 +390,10 @@ func (c *Cluster) RunPhase(name string, tasks []Task) error {
 
 	// Barrier merge, in global task order: run Merge hooks and replay each
 	// task's buffered charges. The lowest-indexed task error wins; work
-	// past it is discarded.
+	// past it is discarded. lastApplied marks the cut so buffered trace
+	// events of discarded tasks are dropped with their charges.
 	var firstErr error
+	lastApplied := -1
 	for i := range tasks {
 		st := &states[i]
 		if !st.ran {
@@ -382,6 +402,7 @@ func (c *Cluster) RunPhase(name string, tasks []Task) error {
 		if st.err != nil {
 			st.meter.apply(perMachinePar, perMachineSer)
 			taskCount[tasks[i].Machine]++
+			lastApplied = i
 			firstErr = st.err
 			break
 		}
@@ -389,12 +410,14 @@ func (c *Cluster) RunPhase(name string, tasks []Task) error {
 			if err := tasks[i].Merge(st.meter); err != nil {
 				st.meter.apply(perMachinePar, perMachineSer)
 				taskCount[tasks[i].Machine]++
+				lastApplied = i
 				firstErr = err
 				break
 			}
 		}
 		st.meter.apply(perMachinePar, perMachineSer)
 		taskCount[tasks[i].Machine]++
+		lastApplied = i
 	}
 
 	// Baseline per-machine times, before straggler inflation.
@@ -454,8 +477,16 @@ func (c *Cluster) RunPhase(name string, tasks []Task) error {
 	}
 	dur := worst*straggle + c.cfg.Cost.PhaseBase + c.cfg.Cost.BarrierPerMachine*float64(active)
 	c.clock += dur
-	if c.cfg.Trace {
-		c.Trace = append(c.Trace, PhaseStat{Name: name, Seconds: dur, ComputeSec: worstCompute, CommSec: worstComm, Tasks: len(tasks)})
+	if rec := c.cfg.Tracer; rec != nil {
+		c.emitPhaseTrace(rec, name, start, dur, worstCompute, worstComm,
+			len(tasks), active, machineSec, computeSec, commSec, taskCount, evalEnd)
+		// Replay buffered engine events and metric samples at the barrier in
+		// global task order, honouring the failure cut exactly like charges.
+		for i := 0; i <= lastApplied; i++ {
+			if states[i].ran {
+				states[i].meter.flushTrace(rec, name, start, dur)
+			}
+		}
 	}
 	if firstErr == nil && len(c.crashes) > 0 {
 		if err := c.settleFaults(name, start, machineSec); err != nil {
@@ -463,6 +494,61 @@ func (c *Cluster) RunPhase(name string, tasks []Task) error {
 		}
 	}
 	return firstErr
+}
+
+// emitPhaseTrace records the structured view of one finished phase: a
+// cluster-wide "phase" span covering the whole barrier-to-barrier
+// interval, plus one "task" span per participating machine covering its
+// busy interval (compute + comm), annotated with the barrier wait and any
+// straggler inflation. Only phase and overhead spans count toward the
+// clock identity (trace.Recorder.ClockSum); task spans overlap them.
+// Built-in per-phase counters (phase_sec, tasks, bytes, compute/comm/wait
+// time) land in the metrics registry under the current engine label.
+func (c *Cluster) emitPhaseTrace(rec *trace.Recorder, name string, start, dur, worstCompute, worstComm float64,
+	tasks, active int, machineSec, computeSec, commSec []float64, taskCount []int, evalEnd float64) {
+	var sentTotal, recvTotal, computeTotal, commTotal, waitTotal float64
+	for i, m := range c.machines {
+		if taskCount[i] == 0 && commSec[i] == 0 {
+			continue
+		}
+		cs := machineSec[i] - commSec[i] // compute after straggler inflation
+		args := []trace.Arg{
+			trace.A("compute_sec", cs),
+			trace.A("comm_sec", commSec[i]),
+			trace.A("wait_sec", dur-machineSec[i]),
+		}
+		if len(c.stragglers) > 0 {
+			if f := c.straggleFactor(i, start, evalEnd); f > 1 {
+				args = append(args, trace.A("straggle_factor", f))
+				rec.AddEvent("straggle", trace.KindFault, i, start,
+					trace.A("factor", f), trace.A("inflation_sec", cs-computeSec[i]))
+			}
+		}
+		rec.AddSpan(name, trace.CatTask, i, start, machineSec[i], args...)
+		sentTotal += m.phaseSent
+		recvTotal += m.phaseRecv
+		computeTotal += cs
+		commTotal += commSec[i]
+		waitTotal += dur - machineSec[i]
+	}
+	rec.AddSpan(name, trace.CatPhase, -1, start, dur,
+		trace.A("compute_sec", worstCompute),
+		trace.A("comm_sec", worstComm),
+		trace.A("tasks", float64(tasks)),
+		trace.A("machines", float64(active)))
+	rec.Count(name, "phase_sec", dur)
+	rec.Count(name, "tasks", float64(tasks))
+	rec.Count(name, "compute_sec", computeTotal)
+	rec.Count(name, "barrier_wait_sec", waitTotal)
+	if sentTotal > 0 {
+		rec.Count(name, "bytes_sent", sentTotal)
+	}
+	if recvTotal > 0 {
+		rec.Count(name, "bytes_recv", recvTotal)
+	}
+	if commTotal > 0 {
+		rec.Count(name, "comm_sec", commTotal)
+	}
 }
 
 // RunPhaseF runs a phase with exactly one task per machine, built by fn.

@@ -6,6 +6,8 @@ import (
 	"math"
 	"testing"
 	"testing/quick"
+
+	"mlbench/internal/trace"
 )
 
 func testConfig(machines int) Config {
@@ -439,16 +441,51 @@ func TestStragglerFactor(t *testing.T) {
 }
 
 func TestTracePhases(t *testing.T) {
-	cfg := testConfig(1)
-	cfg.Trace = true
+	cfg := testConfig(2)
+	rec := trace.NewRecorder()
+	rec.BeginCell("cell")
+	cfg.Tracer = rec
 	c := New(cfg)
+	c.SetEngineLabel("testengine")
 	_ = c.RunDriver("one", func(m *Meter) error { m.ChargeSec(1); return nil })
-	_ = c.RunDriver("two", func(m *Meter) error { m.ChargeSec(2); return nil })
-	if len(c.Trace) != 2 || c.Trace[0].Name != "one" || c.Trace[1].Name != "two" {
-		t.Fatalf("trace = %+v", c.Trace)
+	_ = c.RunPhaseF("two", func(machine int, m *Meter) error {
+		m.ChargeSec(2)
+		m.SendModel(1-machine, 1e6)
+		m.Count("widgets", 3)
+		m.Emit(trace.KindComm, "handoff")
+		return nil
+	})
+	c.AdvanceNamed("job-launch", 0.25)
+
+	var phases []trace.Span
+	for _, s := range rec.CellSpans("cell") {
+		if s.Cat == trace.CatPhase {
+			phases = append(phases, s)
+		}
 	}
-	if c.Trace[1].Seconds <= c.Trace[0].Seconds {
-		t.Errorf("trace durations wrong: %+v", c.Trace)
+	if len(phases) != 2 || phases[0].Name != "one" || phases[1].Name != "two" {
+		t.Fatalf("phase spans = %+v", phases)
+	}
+	if phases[0].Dur <= 0 || phases[1].Dur <= 0 {
+		t.Errorf("phase durations not positive: %+v", phases)
+	}
+	if phases[1].Start != phases[0].End() {
+		t.Errorf("phases not contiguous: %+v", phases)
+	}
+	if phases[0].Arg("tasks") != 1 || phases[1].Arg("tasks") != 2 {
+		t.Errorf("task counts wrong: %+v", phases)
+	}
+	// Clock identity: phase + overhead spans tile the virtual clock.
+	if got, want := rec.ClockSum("cell"), c.Now(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("ClockSum = %v, clock = %v", got, want)
+	}
+	// Engine-emitted counters and events survive the barrier flush.
+	k := trace.Key{Engine: "testengine", Cell: "cell", Phase: "two", Name: "widgets"}
+	if v := rec.Metrics().Counter(k); v != 6 {
+		t.Errorf("widgets counter = %v, want 6 (3 from each machine)", v)
+	}
+	if n := len(rec.CellEvents("cell")); n != 2 {
+		t.Errorf("events = %d, want 2 handoffs", n)
 	}
 }
 

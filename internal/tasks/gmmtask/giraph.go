@@ -155,6 +155,7 @@ func RunGiraph(cl *sim.Cluster, cfg Config) (*task.Result, error) {
 	mBytes := modelMsgBytes(cfg.D)
 	sBytes := statBytes(cfg.D)
 
+	diagPts := genMachineData(cl, cfg, 0)
 	for iter := 0; iter < cfg.Iterations; iter++ {
 		gathered = statsBy()
 		// Superstep A: model distribution. Per-point: each cluster vertex
@@ -244,6 +245,7 @@ func RunGiraph(cl *sim.Cluster, cfg Config) (*task.Result, error) {
 			return res, err
 		}
 		res.IterSecs = append(res.IterSecs, sw.Lap())
+		res.Record(chainPoint(diagPts, params))
 	}
 	recordQuality(cl, cfg, params, res)
 	return res, nil

@@ -279,6 +279,7 @@ func RunGraphLab(cl *sim.Cluster, cfg Config) (*task.Result, error) {
 	res.InitSec = sw.Lap()
 
 	prog := &glProgram{st: st}
+	diagPts := genMachineData(cl, cfg, 0)
 	for iter := 0; iter < cfg.Iterations; iter++ {
 		st.stats = nil
 		if err := g.RunRound(prog, nil); err != nil {
@@ -297,6 +298,7 @@ func RunGraphLab(cl *sim.Cluster, cfg Config) (*task.Result, error) {
 			return res, err
 		}
 		res.IterSecs = append(res.IterSecs, sw.Lap())
+		res.Record(chainPoint(diagPts, st.params))
 	}
 	recordQuality(cl, cfg, st.params, res)
 	return res, nil

@@ -163,6 +163,7 @@ func RunSimSQL(cl *sim.Cluster, cfg Config) (*task.Result, error) {
 		svT.Parts[mc] = []relational.Tuple{relational.T(float64(mc))}
 	}
 
+	diagPts := genMachineData(cl, cfg, 0)
 	for iter := 0; iter < cfg.Iterations; iter++ {
 		// The model tables are replicated to every machine for VG
 		// parameterization.
@@ -242,6 +243,7 @@ func RunSimSQL(cl *sim.Cluster, cfg Config) (*task.Result, error) {
 			return res, fmt.Errorf("gmm simsql iter %d: update: %w", iter, err)
 		}
 		res.IterSecs = append(res.IterSecs, sw.Lap())
+		res.Record(chainPoint(diagPts, params))
 	}
 	recordQuality(cl, cfg, params, res)
 	return res, nil

@@ -127,6 +127,7 @@ func RunSpark(cl *sim.Cluster, cfg Config, profile sim.Profile) (*task.Result, e
 		return addStat(a, b)
 	}
 
+	diagPts := genMachineData(cl, cfg, 0)
 	for iter := 0; iter < cfg.Iterations; iter++ {
 		// Task closures serialize the model to every executor.
 		if err := ctx.Broadcast(params.Bytes(), "gmm model"); err != nil {
@@ -185,6 +186,7 @@ func RunSpark(cl *sim.Cluster, cfg Config, profile sim.Profile) (*task.Result, e
 		}
 		ctx.ReleaseBroadcast(params.Bytes())
 		res.IterSecs = append(res.IterSecs, sw.Lap())
+		res.Record(chainPoint(diagPts, params))
 	}
 	recordQuality(cl, cfg, params, res)
 	return res, nil
@@ -200,9 +202,16 @@ func scaleStats(s *gmm.Stats, scale float64) {
 	}
 }
 
+// chainPoint is the per-iteration quality statistic shared by all four
+// GMM implementations: the model's average log-likelihood over machine
+// 0's real data. With matched data seeds every platform scores the same
+// points, so the resulting chains are directly comparable (not charged).
+func chainPoint(pts []linalg.Vec, params *gmm.Params) float64 {
+	return params.LogLikelihood(pts) / float64(len(pts))
+}
+
 // recordQuality stores the final model log-likelihood over machine 0's
 // real data (a cross-platform comparable diagnostic; not charged).
 func recordQuality(cl *sim.Cluster, cfg Config, params *gmm.Params, res *task.Result) {
-	pts := genMachineData(cl, cfg, 0)
-	res.SetMetric("loglike", params.LogLikelihood(pts)/float64(len(pts)))
+	res.SetMetric("loglike", chainPoint(genMachineData(cl, cfg, 0), params))
 }

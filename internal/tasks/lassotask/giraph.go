@@ -251,6 +251,7 @@ func RunGiraph(cl *sim.Cluster, cfg Config) (*task.Result, error) {
 			return res, fmt.Errorf("lasso giraph iter %d: sigma: %w", iter, err)
 		}
 		res.IterSecs = append(res.IterSecs, sw.Lap())
+		res.Record(chainPoint(cfg, model.state.Beta))
 	}
 	recordQuality(cfg, model.state.Beta, res)
 	return res, nil

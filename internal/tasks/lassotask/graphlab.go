@@ -261,6 +261,7 @@ func RunGraphLab(cl *sim.Cluster, cfg Config) (*task.Result, error) {
 			return res, fmt.Errorf("lasso graphlab iter %d: %w", iter, err)
 		}
 		res.IterSecs = append(res.IterSecs, sw.Lap())
+		res.Record(chainPoint(cfg, center.state.Beta))
 	}
 	recordQuality(cfg, center.state.Beta, res)
 	return res, nil

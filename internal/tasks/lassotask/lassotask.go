@@ -124,9 +124,18 @@ func gramFlops(p int) float64 { return float64(p) * float64(p) }
 // inverse and sampling at dimension P).
 func betaDrawFlops(p int) float64 { return 4 * float64(p) * float64(p) * float64(p) }
 
+// chainPoint is the per-iteration quality statistic shared by all four
+// Lasso implementations: the recovery error of the current coefficient
+// draw against the planted truth. With matched data seeds every platform
+// regresses the same data, so the chains are directly comparable
+// (diagnostic, uncharged).
+func chainPoint(cfg Config, beta linalg.Vec) float64 {
+	diff := beta.Sub(trueBeta(cfg))
+	return diff.Norm2() / float64(len(beta))
+}
+
 // recordQuality stores the recovery error of the learned coefficients
 // against the planted truth (diagnostic, uncharged).
 func recordQuality(cfg Config, beta linalg.Vec, res *task.Result) {
-	diff := beta.Sub(trueBeta(cfg))
-	res.SetMetric("beta_err", diff.Norm2()/float64(len(beta)))
+	res.SetMetric("beta_err", chainPoint(cfg, beta))
 }

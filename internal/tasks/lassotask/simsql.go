@@ -203,6 +203,7 @@ func RunSimSQL(cl *sim.Cluster, cfg Config) (*task.Result, error) {
 			return res, fmt.Errorf("lasso simsql iter %d: sigma: %w", iter, err)
 		}
 		res.IterSecs = append(res.IterSecs, sw.Lap())
+		res.Record(chainPoint(cfg, state.Beta))
 	}
 	recordQuality(cfg, state.Beta, res)
 	return res, nil

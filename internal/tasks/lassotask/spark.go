@@ -149,6 +149,7 @@ func RunSpark(cl *sim.Cluster, cfg Config) (*task.Result, error) {
 		}
 		ctx.ReleaseBroadcast(int64(8 * cfg.P))
 		res.IterSecs = append(res.IterSecs, sw.Lap())
+		res.Record(chainPoint(cfg, state.Beta))
 	}
 	recordQuality(cfg, state.Beta, res)
 	return res, nil

@@ -11,13 +11,22 @@ import (
 
 // Result reports one task run: initialization time, per-iteration times
 // (all in virtual seconds at paper scale), free-form notes (e.g. the
-// GraphLab boot clamp), and model-quality diagnostics.
+// GraphLab boot clamp), model-quality diagnostics, and the per-iteration
+// quality chain used by cross-engine equivalence tests.
 type Result struct {
 	InitSec  float64
 	IterSecs []float64
 	Notes    []string
 	Metrics  map[string]float64
+	// Chain holds one scalar model-quality statistic per iteration (e.g.
+	// the GMM average log-likelihood, the Lasso beta error). With matched
+	// data seeds, the same statistic is comparable across the four
+	// platform implementations of a model — see internal/models/diag.
+	Chain []float64
 }
+
+// Record appends one per-iteration quality statistic to the chain.
+func (r *Result) Record(v float64) { r.Chain = append(r.Chain, v) }
 
 // AvgIterSec returns the mean per-iteration time, the quantity the
 // paper's tables report.
