@@ -12,6 +12,8 @@
 //	mlbench -figure fig2 -failures 2 -failat 0.25 -straggle 4
 //	mlbench -figure fig1a -traceout fig1a.json   # Chrome trace-event JSON
 //	mlbench -figure fig2 -metrics                # per-cell metric registry
+//	mlbench -benchgate -benchout baseline.json   # record a perf baseline
+//	mlbench -benchgate -baseline baseline.json   # gate: nonzero on regression
 //
 // With no -figure, every figure runs in order. -traceout/-tracecsv write
 // one file covering every figure that ran; open the JSON in
@@ -24,6 +26,7 @@ import (
 	"os"
 
 	"mlbench/internal/bench"
+	"mlbench/internal/perfgate"
 	"mlbench/internal/trace"
 )
 
@@ -46,7 +49,16 @@ func main() {
 	ckpt := flag.Int("ckpt", 0, "Giraph checkpoint interval in supersteps (0 = default 3 under faults, <0 = off)")
 	snap := flag.Int("snap", 0, "GraphLab snapshot interval in rounds (0 = default 3 under faults, <0 = off)")
 	workers := flag.Int("workers", 0, "host goroutines running simulated machines concurrently (0 = GOMAXPROCS, 1 = sequential); results are identical for any value")
-	hostbench := flag.Bool("hostbench", false, "wall-time the selected figures at 1 worker vs the full pool, write BENCH_host.json, and exit")
+	hostbench := flag.Bool("hostbench", false, "wall-time the selected figures at 1 worker vs the full pool, write the benchmark JSON, and exit")
+	benchgate := flag.Bool("benchgate", false, "run the performance gate: measure every figure cell at reduced scale plus the hot-path microbenchmarks, write the benchmark JSON, compare against -baseline if set, and exit nonzero on regression")
+	baseline := flag.String("baseline", "", "benchgate baseline JSON to compare the current measurement against")
+	benchout := flag.String("benchout", "BENCH_host.json", "output path for -hostbench / -benchgate measurements")
+	gatereps := flag.Int("gatereps", perfgate.DefaultReps, "benchgate timed repetitions per benchmark (min-of-N plus median)")
+	gatediv := flag.Float64("gatediv", perfgate.GateScaleDiv, "benchgate scale divisor for the figure-cell benchmarks")
+	gatetol := flag.Float64("gatetol", perfgate.DefaultTolerance, "benchgate relative wall-time tolerance before a regression is fatal")
+	alloctol := flag.Float64("alloctol", perfgate.DefaultAllocTolerance, "benchgate relative allocs/op tolerance (growth beyond it is a hard failure)")
+	canary := flag.Float64("canary", 1, "benchgate seeded slowdown multiplier on measured wall times (2 = the self-test canary that must trip the gate)")
+	gatecells := flag.Bool("gatecells", true, "benchgate: include the per-figure-cell benchmarks")
 	flag.Parse()
 
 	if *list {
@@ -81,7 +93,7 @@ func main() {
 		if *figure != "" {
 			ids = []string{*figure}
 		}
-		records, err := bench.RunHostBench(ids, opts, "BENCH_host.json")
+		records, err := bench.RunHostBench(ids, opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "hostbench: %v\n", err)
 			os.Exit(1)
@@ -92,7 +104,44 @@ func main() {
 				seq.Figure, seq.Machines, seq.Workers, seq.WallSec, par.Workers, par.WallSec,
 				seq.WallSec/par.WallSec, bench.FormatDuration(seq.VirtualSec))
 		}
-		fmt.Println("wrote BENCH_host.json")
+		doc := perfgate.NewFile()
+		doc.Figures = records
+		if err := doc.WriteFile(*benchout); err != nil {
+			fmt.Fprintf(os.Stderr, "hostbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (schema v%d)\n", *benchout, perfgate.SchemaVersion)
+		return
+	}
+
+	if *benchgate {
+		doc, err := perfgate.Collect(perfgate.CollectOptions{
+			Bench:     bench.Options{Iterations: 1, ScaleDiv: *gatediv, Seed: *seed, HostWorkers: *workers},
+			Harness:   perfgate.HarnessOptions{Reps: *gatereps, Slowdown: *canary, Log: logf},
+			SkipCells: !*gatecells,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(1)
+		}
+		if err := doc.WriteFile(*benchout); err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d benchmarks, schema v%d)\n", *benchout, len(doc.Benchmarks), perfgate.SchemaVersion)
+		if *baseline == "" {
+			return
+		}
+		base, err := perfgate.ReadFile(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(1)
+		}
+		report := perfgate.Compare(base, doc, perfgate.GateOptions{Tolerance: *gatetol, AllocTolerance: *alloctol})
+		fmt.Print(report.Render())
+		if report.Failed() {
+			os.Exit(1)
+		}
 		return
 	}
 
@@ -157,4 +206,9 @@ func main() {
 		}
 		fmt.Printf("wrote %s\n", *traceCSV)
 	}
+}
+
+// logf is the benchgate progress sink: one line per measured benchmark.
+func logf(format string, args ...any) {
+	fmt.Printf(format+"\n", args...)
 }

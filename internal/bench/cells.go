@@ -1,0 +1,56 @@
+package bench
+
+import "fmt"
+
+// CellRef addresses one runnable cell of a registered figure by its
+// rendered labels. The perf gate (internal/perfgate) enumerates refs to
+// wall-time every table cell individually, so a regression report can
+// name the exact experiment that slowed down.
+type CellRef struct {
+	Figure string
+	Row    string
+	Col    string
+}
+
+func (r CellRef) String() string {
+	return r.Figure + ":" + r.Row + ":" + r.Col
+}
+
+// RunnableCellRefs enumerates every cell of every figure that has a run
+// function (paper-NA cells are skipped), in rendering order.
+func RunnableCellRefs(o Options) []CellRef {
+	var refs []CellRef
+	for _, f := range Figures(o) {
+		for _, r := range f.rows {
+			for _, c := range r.cells {
+				if c.run == nil || c.paperIter == "NA" {
+					continue
+				}
+				refs = append(refs, CellRef{Figure: f.ID, Row: r.label, Col: c.col})
+			}
+		}
+	}
+	return refs
+}
+
+// RunSingleCell executes the referenced cell exactly as Figure.Run would
+// (probe run and fault schedule included when faults are active) and
+// returns the measured cell.
+func RunSingleCell(ref CellRef, o Options) (Cell, error) {
+	o = o.withDefaults()
+	f := FigureByID(ref.Figure, o)
+	if f == nil {
+		return Cell{}, fmt.Errorf("bench: unknown figure %q", ref.Figure)
+	}
+	for _, r := range f.rows {
+		if r.label != ref.Row {
+			continue
+		}
+		for _, c := range r.cells {
+			if c.col == ref.Col {
+				return runCell(c, f.ID, r.label, o), nil
+			}
+		}
+	}
+	return Cell{}, fmt.Errorf("bench: no cell %s", ref)
+}

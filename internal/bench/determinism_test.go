@@ -105,12 +105,11 @@ func clip(s string, i int) string {
 // figure: two records per figure, matching worker counts, and the same
 // virtual time in both (wall time may differ; virtual time must not).
 func TestHostBenchWritesRecords(t *testing.T) {
-	path := t.TempDir() + "/BENCH_host.json"
 	o := Options{Iterations: 1, Seed: 3}
 	if testing.Short() {
 		o.ScaleDiv = 0.1
 	}
-	records, err := RunHostBench([]string{"fig6"}, o, path)
+	records, err := RunHostBench([]string{"fig6"}, o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,5 +128,37 @@ func TestHostBenchWritesRecords(t *testing.T) {
 	}
 	if seq.Figure != "fig6" || seq.Machines != 100 {
 		t.Errorf("record metadata: %+v", seq)
+	}
+}
+
+// TestRunnableCellRefs checks the perf-gate cell enumeration: every ref
+// resolves, NA cells are excluded, and a ref round-trips through
+// RunSingleCell to the same cell Figure.Run produces.
+func TestRunnableCellRefs(t *testing.T) {
+	o := Options{Iterations: 1, Seed: 3, ScaleDiv: 0.02}
+	refs := RunnableCellRefs(o)
+	if len(refs) < 100 {
+		t.Fatalf("RunnableCellRefs = %d cells, want the full evaluation (>= 100)", len(refs))
+	}
+	for _, r := range refs {
+		if r.Figure == "fig4a" && r.Row == "Spark (Python)" && r.Col == "word-based" {
+			t.Errorf("NA cell %s enumerated as runnable", r)
+		}
+	}
+	ref := CellRef{Figure: "fig6", Row: "Spark (Java)", Col: "5m"}
+	cell, err := RunSingleCell(ref, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := FigureByID("fig6", o)
+	want := f.Run(o).Cells["Spark (Java)"]["5m"]
+	if cell.String() != want.String() {
+		t.Errorf("RunSingleCell(%s) = %s, Figure.Run = %s", ref, cell, want)
+	}
+	if _, err := RunSingleCell(CellRef{Figure: "fig6", Row: "nope", Col: "5m"}, o); err == nil {
+		t.Error("RunSingleCell on a bogus row: want error")
+	}
+	if _, err := RunSingleCell(CellRef{Figure: "nope", Row: "x", Col: "y"}, o); err == nil {
+		t.Error("RunSingleCell on a bogus figure: want error")
 	}
 }

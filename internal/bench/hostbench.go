@@ -1,23 +1,23 @@
 package bench
 
 import (
-	"encoding/json"
 	"fmt"
-	"os"
 	"runtime"
 	"time"
 )
 
-// HostBenchRecord is one row of BENCH_host.json: the real wall-clock time
-// one figure took with a given host worker count, next to the virtual
-// cluster time it simulated (which must not depend on the worker count).
+// HostBenchRecord is one row of the BENCH_host.json "figures" section:
+// the real wall-clock time one figure took with a given host worker
+// count, next to the virtual cluster time it simulated (which must not
+// depend on the worker count). Fields are declared in json-key order so
+// encoding/json emits sorted keys and two CI runs diff cleanly.
 type HostBenchRecord struct {
 	Figure     string  `json:"figure"`
-	Machines   int     `json:"machines"` // largest simulated cluster in the figure
-	Workers    int     `json:"workers"`
 	HostCPUs   int     `json:"host_cpus"` // wall-clock speedup is bounded by this
-	WallSec    float64 `json:"wall_sec"`
+	Machines   int     `json:"machines"`  // largest simulated cluster in the figure
 	VirtualSec float64 `json:"virtual_sec"`
+	WallSec    float64 `json:"wall_sec"`
+	Workers    int     `json:"workers"`
 }
 
 // maxMachines returns the largest cell cluster in the figure.
@@ -51,9 +51,10 @@ func virtualSec(t *Table, iters int) float64 {
 // RunHostBench measures the host-parallel speedup: it runs each figure
 // with HostWorkers=1 and again with the full worker pool, wall-timing
 // both, and verifies the rendered virtual-time tables are byte-identical
-// (the parallel scheduler must not change any simulated result). Records
-// are written as a JSON array to path.
-func RunHostBench(figureIDs []string, o Options, path string) ([]HostBenchRecord, error) {
+// (the parallel scheduler must not change any simulated result). The
+// caller owns persistence; internal/perfgate wraps the records in the
+// versioned BENCH_host.json schema.
+func RunHostBench(figureIDs []string, o Options) ([]HostBenchRecord, error) {
 	o = o.withDefaults()
 	full := o.HostWorkers
 	if full <= 0 {
@@ -86,9 +87,5 @@ func RunHostBench(figureIDs []string, o Options, path string) ([]HostBenchRecord
 			return nil, fmt.Errorf("hostbench: figure %s table differs between 1 and %d workers", id, full)
 		}
 	}
-	data, err := json.MarshalIndent(records, "", "  ")
-	if err != nil {
-		return nil, err
-	}
-	return records, os.WriteFile(path, append(data, '\n'), 0o644)
+	return records, nil
 }

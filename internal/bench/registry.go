@@ -5,13 +5,13 @@ import (
 
 	"mlbench/internal/faults"
 	"mlbench/internal/sim"
-	"mlbench/internal/trace"
 	"mlbench/internal/tasks/gmmtask"
 	"mlbench/internal/tasks/hmmtask"
 	"mlbench/internal/tasks/imputetask"
 	"mlbench/internal/tasks/lassotask"
 	"mlbench/internal/tasks/ldatask"
 	"mlbench/internal/tasks/task"
+	"mlbench/internal/trace"
 )
 
 // Options tunes a harness run.
@@ -430,8 +430,6 @@ const hmmScale = 25_000 // 100 real documents per machine
 
 func fig3a(o Options) *Figure {
 	cfg := hmmCfg(o)
-	py := sim.ProfilePython
-	_ = py
 	cell := func(col string, v hmmtask.Variant, run func(cl *sim.Cluster, variant hmmtask.Variant) (*task.Result, error)) cellSpec {
 		return cellSpec{col: col, machines: 5, scale: hmmScale,
 			run: func(cl *sim.Cluster) (*task.Result, error) { return run(cl, v) }}
@@ -597,4 +595,3 @@ func fig6(o Options) *Figure {
 		},
 	}
 }
-

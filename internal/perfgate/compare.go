@@ -1,0 +1,175 @@
+package perfgate
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Default comparator slacks. DefaultTolerance is sized for shared CI
+// runners and small VMs, where per-process wall-time drift of 1.3x on
+// sub-millisecond cells is routine; the seeded 2x canary still clears it
+// with a 1.43x margin. Allocation counts are deterministic, so their
+// slack is tight.
+const (
+	DefaultTolerance      = 0.40
+	DefaultAllocTolerance = 0.05
+)
+
+// GateOptions tunes the comparator's noise model.
+type GateOptions struct {
+	// Tolerance is the relative wall-time slack (default
+	// DefaultTolerance): a benchmark regresses only when BOTH its
+	// min-of-N and its median exceed the baseline by more than this
+	// factor. The minimum is the least-perturbed repetition, the median
+	// guards against one lucky rep; requiring both keeps scheduler noise
+	// from failing the gate.
+	Tolerance float64
+	// AllocTolerance is the relative allocs/op slack (default
+	// DefaultAllocTolerance). Allocation counts are deterministic, so
+	// growth beyond this (plus an absolute slack of half an alloc for
+	// tiny counts) is a hard failure even when wall time is within
+	// Tolerance.
+	AllocTolerance float64
+}
+
+func (o GateOptions) withDefaults() GateOptions {
+	if o.Tolerance == 0 {
+		o.Tolerance = DefaultTolerance
+	}
+	if o.AllocTolerance == 0 {
+		o.AllocTolerance = DefaultAllocTolerance
+	}
+	return o
+}
+
+// Finding is one comparator observation. Fatal findings fail the gate.
+type Finding struct {
+	Kind   string // "regression", "alloc-regression", "missing", "new", "improvement", "env"
+	Name   string // benchmark name, or "" for document-level findings
+	Detail string
+	Fatal  bool
+}
+
+// Report is the gate verdict: every finding, ordered fatal-first then by
+// benchmark name.
+type Report struct {
+	Findings []Finding
+}
+
+// Failed reports whether any finding is fatal.
+func (r *Report) Failed() bool {
+	for _, f := range r.Findings {
+		if f.Fatal {
+			return true
+		}
+	}
+	return false
+}
+
+// Render formats the report for the CLI: one line per finding plus a
+// PASS/FAIL verdict line.
+func (r *Report) Render() string {
+	var b strings.Builder
+	for _, f := range r.Findings {
+		tag := "warn"
+		if f.Fatal {
+			tag = "FAIL"
+		}
+		name := f.Name
+		if name == "" {
+			name = "(document)"
+		}
+		fmt.Fprintf(&b, "%s  %-16s %s: %s\n", tag, f.Kind, name, f.Detail)
+	}
+	if r.Failed() {
+		b.WriteString("benchgate: FAIL\n")
+	} else {
+		b.WriteString("benchgate: PASS\n")
+	}
+	return b.String()
+}
+
+// Compare judges the current measurement against the baseline. Missing
+// benchmarks (coverage silently lost) are fatal; new benchmarks and
+// environment mismatches are warnings; regressions follow GateOptions.
+func Compare(baseline, current *File, o GateOptions) *Report {
+	o = o.withDefaults()
+	rep := &Report{}
+	for _, d := range baseline.Env.Mismatch(current.Env) {
+		rep.Findings = append(rep.Findings, Finding{
+			Kind:   "env",
+			Detail: d + " (wall times may not be comparable)",
+		})
+	}
+	base := map[string]Result{}
+	for _, r := range baseline.Benchmarks {
+		base[r.Name] = r
+	}
+	cur := map[string]Result{}
+	for _, r := range current.Benchmarks {
+		cur[r.Name] = r
+	}
+	for _, name := range sortedKeys(base) {
+		b := base[name]
+		c, ok := cur[name]
+		if !ok {
+			rep.Findings = append(rep.Findings, Finding{
+				Kind: "missing", Name: name, Fatal: true,
+				Detail: "benchmark in baseline but not in current run — gate coverage lost",
+			})
+			continue
+		}
+		rep.Findings = append(rep.Findings, judge(b, c, o)...)
+	}
+	for _, name := range sortedKeys(cur) {
+		if _, ok := base[name]; !ok {
+			rep.Findings = append(rep.Findings, Finding{
+				Kind: "new", Name: name,
+				Detail: fmt.Sprintf("no baseline entry; current min %.0f ns/op — regenerate the baseline to gate it", cur[name].MinNS),
+			})
+		}
+	}
+	sort.SliceStable(rep.Findings, func(i, j int) bool {
+		if rep.Findings[i].Fatal != rep.Findings[j].Fatal {
+			return rep.Findings[i].Fatal
+		}
+		return false
+	})
+	return rep
+}
+
+// judge compares one benchmark pair under the noise model.
+func judge(b, c Result, o GateOptions) []Finding {
+	var out []Finding
+	slack := 1 + o.Tolerance
+	if b.MinNS > 0 && c.MinNS > b.MinNS*slack && c.MedianNS > b.MedianNS*slack {
+		out = append(out, Finding{
+			Kind: "regression", Name: b.Name, Fatal: true,
+			Detail: fmt.Sprintf("min %.0f -> %.0f ns/op (%.2fx), median %.0f -> %.0f ns/op (%.2fx), tolerance %.0f%%",
+				b.MinNS, c.MinNS, c.MinNS/b.MinNS, b.MedianNS, c.MedianNS, c.MedianNS/b.MedianNS, o.Tolerance*100),
+		})
+	}
+	if c.AllocsPerOp > b.AllocsPerOp*(1+o.AllocTolerance)+0.5 {
+		out = append(out, Finding{
+			Kind: "alloc-regression", Name: b.Name, Fatal: true,
+			Detail: fmt.Sprintf("allocs/op %.1f -> %.1f (%.0f%% tolerance is hard)", b.AllocsPerOp, c.AllocsPerOp, o.AllocTolerance*100),
+		})
+	}
+	if b.MinNS > 0 && c.MinNS*slack < b.MinNS && c.MedianNS*slack < b.MedianNS {
+		out = append(out, Finding{
+			Kind: "improvement", Name: b.Name,
+			Detail: fmt.Sprintf("min %.0f -> %.0f ns/op (%.2fx) — consider refreshing the baseline", b.MinNS, c.MinNS, c.MinNS/b.MinNS),
+		})
+	}
+	return out
+}
+
+func sortedKeys(m map[string]Result) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

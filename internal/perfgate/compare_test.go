@@ -1,0 +1,250 @@
+package perfgate
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mlbench/internal/bench"
+)
+
+func res(name string, min, median, allocs float64) Result {
+	return Result{Name: name, MinNS: min, MedianNS: median, AllocsPerOp: allocs, BytesPerOp: allocs * 64, Reps: 3}
+}
+
+func fileWith(results ...Result) *File {
+	f := NewFile()
+	f.Benchmarks = results
+	return f
+}
+
+func kinds(r *Report) map[string]int {
+	out := map[string]int{}
+	for _, f := range r.Findings {
+		out[f.Kind]++
+	}
+	return out
+}
+
+// TestCompareSelfBaseline: a document compared against itself has no
+// fatal findings — the gate's basic sanity invariant.
+func TestCompareSelfBaseline(t *testing.T) {
+	f := fileWith(res("a", 100, 110, 5), res("b", 2000, 2100, 0))
+	rep := Compare(f, f, GateOptions{})
+	if rep.Failed() {
+		t.Fatalf("self-comparison failed:\n%s", rep.Render())
+	}
+	if len(rep.Findings) != 0 {
+		t.Errorf("self-comparison findings: %v", rep.Findings)
+	}
+}
+
+// TestCompareNoisyWithinTolerance: wall-time drift inside the tolerance
+// band — in either direction — passes.
+func TestCompareNoisyWithinTolerance(t *testing.T) {
+	base := fileWith(res("a", 100, 110, 5))
+	for _, cur := range []*File{
+		fileWith(res("a", 135, 148, 5)), // +35% < 40% default tolerance
+		fileWith(res("a", 82, 90, 5)),   // faster, but not enough to flag
+	} {
+		rep := Compare(base, cur, GateOptions{})
+		if rep.Failed() {
+			t.Errorf("within-tolerance drift failed the gate:\n%s", rep.Render())
+		}
+		if len(rep.Findings) != 0 {
+			t.Errorf("within-tolerance drift produced findings: %v", rep.Findings)
+		}
+	}
+}
+
+// TestCompareMinAndMedianConjunction: only min OR only median exceeding
+// the tolerance is noise, not a regression; both together is fatal.
+func TestCompareMinAndMedianConjunction(t *testing.T) {
+	base := fileWith(res("a", 100, 100, 5))
+	if rep := Compare(base, fileWith(res("a", 150, 120, 5)), GateOptions{}); rep.Failed() {
+		t.Errorf("min-only excursion (median within tolerance) failed the gate:\n%s", rep.Render())
+	}
+	if rep := Compare(base, fileWith(res("a", 120, 150, 5)), GateOptions{}); rep.Failed() {
+		t.Errorf("median-only excursion (min within tolerance) failed the gate:\n%s", rep.Render())
+	}
+	rep := Compare(base, fileWith(res("a", 150, 150, 5)), GateOptions{})
+	if !rep.Failed() || kinds(rep)["regression"] != 1 {
+		t.Errorf("min+median regression did not trip the gate:\n%s", rep.Render())
+	}
+}
+
+// TestCompareMissingAndExtraCells: a benchmark that disappears from the
+// current run is fatal (coverage silently lost); a new benchmark with no
+// baseline is a warning only.
+func TestCompareMissingAndExtraCells(t *testing.T) {
+	base := fileWith(res("a", 100, 110, 5), res("gone", 50, 55, 1))
+	cur := fileWith(res("a", 100, 110, 5), res("fresh", 70, 75, 2))
+	rep := Compare(base, cur, GateOptions{})
+	if !rep.Failed() {
+		t.Fatalf("missing benchmark did not fail the gate:\n%s", rep.Render())
+	}
+	k := kinds(rep)
+	if k["missing"] != 1 || k["new"] != 1 {
+		t.Errorf("findings = %v, want one missing + one new", k)
+	}
+	for _, f := range rep.Findings {
+		if f.Kind == "new" && f.Fatal {
+			t.Errorf("new benchmark marked fatal: %+v", f)
+		}
+	}
+	if !strings.Contains(rep.Render(), "benchgate: FAIL") {
+		t.Errorf("render verdict:\n%s", rep.Render())
+	}
+}
+
+// TestCompareEnvMismatchWarnsOnly: a baseline from different hardware
+// warns but never fails on the fingerprint alone.
+func TestCompareEnvMismatchWarnsOnly(t *testing.T) {
+	base := fileWith(res("a", 100, 110, 5))
+	base.Env = Env{CPUModel: "Paper EC2 fleet", GOARCH: "arm64", GOMAXPROCS: 64, GOOS: "plan9", GoVersion: "go1.0", NumCPU: 64}
+	cur := fileWith(res("a", 100, 110, 5))
+	rep := Compare(base, cur, GateOptions{})
+	if rep.Failed() {
+		t.Fatalf("env mismatch alone failed the gate:\n%s", rep.Render())
+	}
+	if kinds(rep)["env"] < 5 {
+		t.Errorf("expected one env warning per differing field, got:\n%s", rep.Render())
+	}
+}
+
+// TestCompareAllocGrowthIsHardFail: allocation growth fails even when
+// wall time is flat; shrinkage and sub-slack jitter pass.
+func TestCompareAllocGrowthIsHardFail(t *testing.T) {
+	base := fileWith(res("a", 100, 110, 100))
+	rep := Compare(base, fileWith(res("a", 100, 110, 120)), GateOptions{})
+	if !rep.Failed() || kinds(rep)["alloc-regression"] != 1 {
+		t.Fatalf("20%% alloc growth did not trip the gate:\n%s", rep.Render())
+	}
+	if rep := Compare(base, fileWith(res("a", 100, 110, 104)), GateOptions{}); rep.Failed() {
+		t.Errorf("4%% alloc jitter (within the 5%% slack) failed the gate:\n%s", rep.Render())
+	}
+	if rep := Compare(base, fileWith(res("a", 100, 110, 50)), GateOptions{}); rep.Failed() {
+		t.Errorf("alloc shrinkage failed the gate:\n%s", rep.Render())
+	}
+	// Half-an-alloc absolute slack: 0 -> 0.3 allocs/op is measurement
+	// dust, not a regression.
+	zero := fileWith(res("z", 100, 110, 0))
+	if rep := Compare(zero, fileWith(res("z", 100, 110, 0.3)), GateOptions{}); rep.Failed() {
+		t.Errorf("sub-alloc dust failed the gate:\n%s", rep.Render())
+	}
+}
+
+// TestCompareImprovementIsAdvisory: a big speedup is surfaced (so the
+// baseline gets refreshed) but does not fail.
+func TestCompareImprovementIsAdvisory(t *testing.T) {
+	base := fileWith(res("a", 1000, 1100, 5))
+	rep := Compare(base, fileWith(res("a", 400, 450, 5)), GateOptions{})
+	if rep.Failed() {
+		t.Fatalf("improvement failed the gate:\n%s", rep.Render())
+	}
+	if kinds(rep)["improvement"] != 1 {
+		t.Errorf("2.5x speedup not surfaced:\n%s", rep.Render())
+	}
+}
+
+// TestCompareSlowdownCanary is the end-to-end canary at the package
+// level: measure a real spec twice, the second time through a seeded 2x
+// slowdown, and require the comparator to trip. The same invariant is
+// exercised through the CLI by the CI benchgate job
+// (`mlbench -benchgate -baseline ... -canary 2`).
+func TestCompareSlowdownCanary(t *testing.T) {
+	spec := Spec{
+		Name: "canary:spin",
+		N:    200,
+		Run: func(n int) error {
+			for i := 0; i < n; i++ {
+				for j := 0; j < 2000; j++ {
+					Sink += float64(j)
+				}
+			}
+			return nil
+		},
+	}
+	baseRes, err := Measure(spec, HarnessOptions{Reps: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slowRes, err := Measure(spec, HarnessOptions{Reps: 3, Slowdown: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Compare(fileWith(baseRes), fileWith(slowRes), GateOptions{})
+	if !rep.Failed() {
+		t.Fatalf("seeded 2x slowdown did not trip the gate: base min %.0f, slow min %.0f\n%s",
+			baseRes.MinNS, slowRes.MinNS, rep.Render())
+	}
+	// And the unseeded remeasurement passes against itself.
+	again, err := Measure(spec, HarnessOptions{Reps: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep := Compare(fileWith(baseRes), fileWith(again), GateOptions{}); rep.Failed() {
+		t.Errorf("self-remeasurement failed the gate:\n%s", rep.Render())
+	}
+}
+
+// TestFileRoundTripAndSortedKeys locks the versioned schema: write,
+// re-read, and require every json key to appear in sorted order so CI
+// diffs of BENCH_host.json stay readable.
+func TestFileRoundTripAndSortedKeys(t *testing.T) {
+	f := NewFile()
+	f.Benchmarks = []Result{res("a", 100, 110, 5)}
+	f.Figures = []bench.HostBenchRecord{{Figure: "fig6", HostCPUs: 1, Machines: 100, VirtualSec: 10, WallSec: 2, Workers: 1}}
+	path := filepath.Join(t.TempDir(), "BENCH_host.json")
+	if err := f.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != SchemaVersion || len(got.Benchmarks) != 1 || len(got.Figures) != 1 {
+		t.Errorf("round trip lost data: %+v", got)
+	}
+	data, err := f.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, keys := range [][]string{
+		{`"benchmarks"`, `"env"`, `"figures"`, `"version"`},
+		{`"allocs_per_op"`, `"bytes_per_op"`, `"median_ns"`, `"min_ns"`, `"name"`, `"reps"`},
+		{`"figure"`, `"host_cpus"`, `"machines"`, `"virtual_sec"`, `"wall_sec"`, `"workers"`},
+	} {
+		last := -1
+		for _, k := range keys {
+			i := strings.Index(string(data), k)
+			if i < 0 {
+				t.Fatalf("key %s missing from marshaled document:\n%s", k, data)
+			}
+			if i < last {
+				t.Errorf("key %s out of sorted order in marshaled document", k)
+			}
+			last = i
+		}
+	}
+}
+
+// TestReadFileRejectsV1 gives the old bare-array BENCH_host.json a
+// regeneration hint instead of a JSON type error.
+func TestReadFileRejectsV1(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_host.json")
+	v1 := `[{"figure": "fig4b", "machines": 100, "workers": 1, "host_cpus": 1, "wall_sec": 42.5, "virtual_sec": 23950.5}]`
+	if err := writeString(path, v1); err != nil {
+		t.Fatal(err)
+	}
+	_, err := ReadFile(path)
+	if err == nil || !strings.Contains(err.Error(), "schema v1") {
+		t.Errorf("ReadFile on v1 array: %v, want schema v1 hint", err)
+	}
+	if err := writeString(path, `{"version": 99, "env": {}}`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(path); err == nil || !strings.Contains(err.Error(), "version 99") {
+		t.Errorf("ReadFile on future version: %v, want version error", err)
+	}
+}

@@ -1,0 +1,67 @@
+package perfgate
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+)
+
+// Env is the environment fingerprint stored next to every benchmark
+// document. Wall times from different hardware are not comparable, so
+// the comparator surfaces any mismatch as a warning (never a failure —
+// CI runners rotate CPU models routinely). Fields are declared in
+// json-key order; see SchemaVersion.
+type Env struct {
+	CPUModel   string `json:"cpu_model,omitempty"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	GOOS       string `json:"goos"`
+	GoVersion  string `json:"go_version"`
+	NumCPU     int    `json:"num_cpu"`
+}
+
+// CaptureEnv fingerprints the current host and toolchain.
+func CaptureEnv() Env {
+	return Env{
+		CPUModel:   cpuModel(),
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GOOS:       runtime.GOOS,
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+	}
+}
+
+// cpuModel best-effort reads the CPU model name (linux /proc/cpuinfo);
+// empty elsewhere, which json omits.
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if name, ok := strings.CutPrefix(line, "model name"); ok {
+			return strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(name), ":"))
+		}
+	}
+	return ""
+}
+
+// Mismatch describes every field where the two fingerprints differ, one
+// human-readable line per field; empty when the environments match.
+func (e Env) Mismatch(other Env) []string {
+	var out []string
+	diff := func(field, a, b string) {
+		if a != b {
+			out = append(out, fmt.Sprintf("%s: baseline %q vs current %q", field, a, b))
+		}
+	}
+	diff("cpu_model", e.CPUModel, other.CPUModel)
+	diff("goarch", e.GOARCH, other.GOARCH)
+	diff("gomaxprocs", fmt.Sprint(e.GOMAXPROCS), fmt.Sprint(other.GOMAXPROCS))
+	diff("goos", e.GOOS, other.GOOS)
+	diff("go_version", e.GoVersion, other.GoVersion)
+	diff("num_cpu", fmt.Sprint(e.NumCPU), fmt.Sprint(other.NumCPU))
+	return out
+}

@@ -1,0 +1,133 @@
+package perfgate
+
+import (
+	"errors"
+	"os"
+	"strings"
+	"testing"
+
+	"mlbench/internal/bench"
+)
+
+func writeString(path, s string) error {
+	return os.WriteFile(path, []byte(s), 0o644)
+}
+
+// sinkBytes forces the harness test's per-op allocation to escape to the
+// heap so the Mallocs counter sees it.
+var sinkBytes []byte
+
+// TestMeasureBasics: min <= median, allocs accounted per op, warmups
+// run, and the slowdown multiplier scales the reported wall times.
+func TestMeasureBasics(t *testing.T) {
+	runs := 0
+	spec := Spec{
+		Name:   "t:allocs",
+		N:      1000,
+		Warmup: 2,
+		Run: func(n int) error {
+			runs++
+			for i := 0; i < n; i++ {
+				sinkBytes = make([]byte, 32)
+			}
+			return nil
+		},
+	}
+	r, err := Measure(spec, HarnessOptions{Reps: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs != 2+5 {
+		t.Errorf("runs = %d, want warmup 2 + reps 5", runs)
+	}
+	if r.Reps != 5 || r.Name != "t:allocs" {
+		t.Errorf("result metadata: %+v", r)
+	}
+	if r.MinNS <= 0 || r.MedianNS < r.MinNS {
+		t.Errorf("min %.1f, median %.1f: want 0 < min <= median", r.MinNS, r.MedianNS)
+	}
+	// One 32-byte make per op: at least one alloc and 32 bytes each.
+	if r.AllocsPerOp < 1 || r.AllocsPerOp > 3 {
+		t.Errorf("allocs/op = %.2f, want ~1", r.AllocsPerOp)
+	}
+	if r.BytesPerOp < 32 {
+		t.Errorf("bytes/op = %.2f, want >= 32", r.BytesPerOp)
+	}
+	slow, err := Measure(spec, HarnessOptions{Reps: 5, Slowdown: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same code measured under the 2x canary must report clearly more
+	// than the tolerance band above the honest run.
+	if slow.MinNS < r.MinNS*1.4 {
+		t.Errorf("canary min %.1f not ~2x honest min %.1f", slow.MinNS, r.MinNS)
+	}
+}
+
+func TestMeasureErrors(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := Measure(Spec{Name: "t:err", N: 1, Run: func(int) error { return boom }}, HarnessOptions{Reps: 2})
+	if !errors.Is(err, boom) {
+		t.Errorf("spec error not propagated: %v", err)
+	}
+	if _, err := Measure(Spec{Name: "t:zero", N: 0, Run: func(int) error { return nil }}, HarnessOptions{}); err == nil {
+		t.Error("N=0 spec accepted")
+	}
+}
+
+// TestMicroSpecsMeasure runs every hot-path micro spec once through the
+// harness: all four paths are present and produce positive timings.
+func TestMicroSpecsMeasure(t *testing.T) {
+	specs := MicroSpecs()
+	want := []string{"micro:alias-draw-k100", "micro:gram-fold-p64", "micro:runphase-merge-16m", "micro:trace-export"}
+	if len(specs) != len(want) {
+		t.Fatalf("MicroSpecs = %d specs, want %d", len(specs), len(want))
+	}
+	results, err := MeasureAll(specs, HarnessOptions{Reps: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r.Name != want[i] {
+			t.Errorf("spec %d = %s, want %s", i, r.Name, want[i])
+		}
+		if r.MinNS <= 0 {
+			t.Errorf("%s: min %.2f ns/op, want > 0", r.Name, r.MinNS)
+		}
+	}
+}
+
+// TestCollectCells runs a real gate collection restricted to the micro
+// section plus a spot check that cell specs wire through to bench.
+func TestCollectCells(t *testing.T) {
+	f, err := Collect(CollectOptions{SkipCells: true, Harness: HarnessOptions{Reps: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Version != SchemaVersion || len(f.Benchmarks) != 4 {
+		t.Fatalf("micro-only collection: version %d, %d benchmarks", f.Version, len(f.Benchmarks))
+	}
+	if f.Env.GoVersion == "" || f.Env.NumCPU <= 0 {
+		t.Errorf("env fingerprint not captured: %+v", f.Env)
+	}
+	specs := CellSpecs(bench.Options{Iterations: 1, ScaleDiv: GateScaleDiv, Seed: 1})
+	if len(specs) < 100 {
+		t.Fatalf("CellSpecs = %d, want every runnable figure cell", len(specs))
+	}
+	var spot *Spec
+	for i := range specs {
+		if specs[i].Name == "cell:fig6:Spark (Java):5m" {
+			spot = &specs[i]
+		}
+	}
+	if spot == nil {
+		t.Fatal("fig6 cell spec missing")
+	}
+	r, err := Measure(*spot, HarnessOptions{Reps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MinNS <= 0 || !strings.HasPrefix(r.Name, "cell:") {
+		t.Errorf("cell measurement: %+v", r)
+	}
+}

@@ -1,0 +1,43 @@
+package perfgate
+
+import (
+	"encoding/csv"
+	"strconv"
+	"strings"
+
+	"mlbench/internal/bench"
+)
+
+// SnapshotCSV serializes a rendered figure table as the golden-snapshot
+// CSV: one record per cell in rendering order, full-precision float
+// fields, and the cell notes (fault observations, recovery spans, OOM
+// text) joined into the last column. Virtual-clock results are fully
+// deterministic — independent of host worker count, wall load, and rep
+// order — so the serialization is byte-stable and any diff against
+// testdata/golden/ is a real semantic change to the reproduction.
+func SnapshotCSV(t *bench.Table) string {
+	var b strings.Builder
+	w := csv.NewWriter(&b)
+	w.Write([]string{"figure", "row", "col", "status", "iter_sec", "init_sec", "notes"})
+	for _, r := range t.Rows {
+		for _, c := range t.Cols {
+			cell := t.Cells[r][c]
+			status := "ok"
+			iter, init := g(cell.IterSec), g(cell.InitSec)
+			switch {
+			case cell.Skipped:
+				status, iter, init = "skip", "", ""
+			case cell.Failed:
+				status, iter, init = "fail", "", ""
+			}
+			w.Write([]string{t.ID, r, c, status, iter, init, strings.Join(cell.Notes, "; ")})
+		}
+	}
+	w.Flush()
+	return b.String()
+}
+
+// g formats a float with full round-trip precision.
+func g(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

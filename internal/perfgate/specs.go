@@ -1,0 +1,213 @@
+package perfgate
+
+import (
+	"fmt"
+	"io"
+
+	"mlbench/internal/bench"
+	"mlbench/internal/linalg"
+	"mlbench/internal/randgen"
+	"mlbench/internal/sim"
+	"mlbench/internal/trace"
+	"mlbench/internal/workload"
+)
+
+// GateScaleDiv is the default scale divisor for the figure-cell specs:
+// 50x less real data than the paper tables, because the gate measures
+// host wall time of the simulation machinery, which scale barely moves.
+const GateScaleDiv = 0.02
+
+// Sink defeats dead-code elimination in the micro specs.
+var Sink float64
+
+// MicroSpecs benchmarks the four host-side hot paths the simulation's
+// wall time is made of: the Walker/Vose alias sampler that LDA/HMM
+// resampling leans on, the Lasso Gram-matrix fold, the RunPhase barrier
+// merge that every engine phase pays, and the trace export.
+func MicroSpecs() []Spec {
+	return []Spec{
+		aliasDrawSpec(),
+		gramFoldSpec(),
+		runPhaseMergeSpec(),
+		traceExportSpec(),
+	}
+}
+
+// aliasDrawSpec: one op = one O(1) categorical draw from a K=100 alias
+// table (the LDA/HMM per-word topic draw).
+func aliasDrawSpec() Spec {
+	rng := randgen.New(7)
+	weights := make([]float64, 100)
+	for i := range weights {
+		weights[i] = rng.Float64() + 0.01
+	}
+	table := randgen.NewAlias(weights)
+	return Spec{
+		Name:   "micro:alias-draw-k100",
+		N:      500_000,
+		Warmup: 1,
+		Run: func(n int) error {
+			var acc int
+			for i := 0; i < n; i++ {
+				acc += table.Draw(rng)
+			}
+			Sink += float64(acc)
+			return nil
+		},
+	}
+}
+
+// gramFoldSpec: one op = folding one observation into the Lasso
+// initialization statistics (X^T X outer product plus X^T y), p=64.
+func gramFoldSpec() Spec {
+	const p = 64
+	rng := randgen.New(11)
+	data := workload.GenRegressionWithBeta(rng, workload.SparseBeta(rng, p, 4), 32, 1)
+	xtx := linalg.NewMat(p, p)
+	xty := linalg.NewVec(p)
+	return Spec{
+		Name:   "micro:gram-fold-p64",
+		N:      20_000,
+		Warmup: 1,
+		Run: func(n int) error {
+			for i := 0; i < n; i++ {
+				x := data.X[i%len(data.X)]
+				xtx.AddOuter(1, x, x)
+				for j := range x {
+					xty[j] += x[j] * data.Y[i%len(data.Y)]
+				}
+			}
+			Sink += xty[0]
+			return nil
+		},
+	}
+}
+
+// runPhaseMergeSpec: one op = one RunPhaseFM over a 16-machine cluster —
+// the host-goroutine fan-out, per-task Meter flush, and deterministic
+// barrier merge every simulated phase pays.
+func runPhaseMergeSpec() Spec {
+	cfg := sim.DefaultConfig(16)
+	cfg.Scale = 1000
+	cl := sim.New(cfg)
+	return Spec{
+		Name:   "micro:runphase-merge-16m",
+		N:      300,
+		Warmup: 1,
+		Run: func(n int) error {
+			for i := 0; i < n; i++ {
+				err := cl.RunPhaseFM("gate",
+					func(machine int, m *sim.Meter) error {
+						m.ChargeSec(1)
+						return nil
+					},
+					func(machine int, m *sim.Meter) error { return nil })
+				if err != nil {
+					return err
+				}
+			}
+			Sink += cl.Now()
+			return nil
+		},
+	}
+}
+
+// traceExportSpec: one op = serializing a ~600-record trace to both the
+// Chrome trace-event JSON and CSV exporters.
+func traceExportSpec() Spec {
+	rec := trace.NewRecorder()
+	for cell := 0; cell < 3; cell++ {
+		rec.BeginCell(fmt.Sprintf("gate/cell%d", cell))
+		for i := 0; i < 150; i++ {
+			rec.AddSpan(fmt.Sprintf("phase%d", i%7), "phase", i%16, float64(i), 1.5, trace.A("tasks", 16))
+			if i%3 == 0 {
+				rec.AddEvent("mark", "task", i%16, float64(i), trace.A("n", float64(i)))
+			}
+			rec.Count(fmt.Sprintf("phase%d", i%7), "bytes", float64(i)*128)
+		}
+	}
+	return Spec{
+		Name:   "micro:trace-export",
+		N:      30,
+		Warmup: 1,
+		Run: func(n int) error {
+			for i := 0; i < n; i++ {
+				if err := trace.WriteChrome(io.Discard, rec); err != nil {
+					return err
+				}
+				if err := trace.WriteCSV(io.Discard, rec); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// CellSpecs returns one spec per runnable figure cell at the gate's
+// reduced scale: one op = the cell's full simulated run. Expected Fail
+// cells (the paper's OOM entries) still measure — the wall time of
+// reaching the OOM is as gateable as any other.
+func CellSpecs(o bench.Options) []Spec {
+	refs := bench.RunnableCellRefs(o)
+	specs := make([]Spec, 0, len(refs))
+	for _, ref := range refs {
+		ref := ref
+		specs = append(specs, Spec{
+			Name: "cell:" + ref.String(),
+			N:    1,
+			Run: func(n int) error {
+				for i := 0; i < n; i++ {
+					if _, err := bench.RunSingleCell(ref, o); err != nil {
+						return err
+					}
+				}
+				return nil
+			},
+		})
+	}
+	return specs
+}
+
+// CollectOptions configures one gate measurement pass.
+type CollectOptions struct {
+	// Bench configures the figure-cell runs; zero fields default to
+	// Iterations 1, ScaleDiv GateScaleDiv, Seed 1.
+	Bench bench.Options
+	// Harness tunes reps, the slowdown canary, and progress logging.
+	Harness HarnessOptions
+	// SkipMicros / SkipCells drop a section (both run by default).
+	SkipMicros bool
+	SkipCells  bool
+}
+
+func (o CollectOptions) withDefaults() CollectOptions {
+	if o.Bench.Iterations == 0 {
+		o.Bench.Iterations = 1
+	}
+	if o.Bench.ScaleDiv == 0 {
+		o.Bench.ScaleDiv = GateScaleDiv
+	}
+	return o
+}
+
+// Collect measures the configured spec sections into a fresh versioned
+// document ready to be written as BENCH_host.json or compared against a
+// baseline.
+func Collect(o CollectOptions) (*File, error) {
+	o = o.withDefaults()
+	f := NewFile()
+	var specs []Spec
+	if !o.SkipMicros {
+		specs = append(specs, MicroSpecs()...)
+	}
+	if !o.SkipCells {
+		specs = append(specs, CellSpecs(o.Bench)...)
+	}
+	results, err := MeasureAll(specs, o.Harness)
+	if err != nil {
+		return nil, err
+	}
+	f.Benchmarks = results
+	return f, nil
+}

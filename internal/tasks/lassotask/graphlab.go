@@ -65,9 +65,9 @@ type lassoGather struct {
 }
 
 type lassoProg struct {
-	cfg    Config
-	h      lasso.Hyper
-	rng    *randgen.RNG
+	cfg   Config
+	h     lasso.Hyper
+	rng   *randgen.RNG
 	yBar  float64
 	n     float64
 	xtx   *linalg.Mat
