@@ -1,0 +1,19 @@
+// Command mlbenchd is the standalone experiment service: the benchmark
+// behind an HTTP/JSON API with a bounded worker pool, request
+// coalescing, result caching, SSE progress, and graceful drain on
+// SIGTERM. It is the same server as `mlbench serve`; see internal/serve
+// for the API and DESIGN.md §11 for the architecture.
+//
+//	mlbenchd -addr 127.0.0.1:8080 -workers 2 -queue 16
+//	curl -s localhost:8080/v1/runs -d '{"figure":"fig1a"}'
+package main
+
+import (
+	"os"
+
+	"mlbench/internal/serve"
+)
+
+func main() {
+	os.Exit(serve.Main(os.Args[1:]))
+}

@@ -1,6 +1,9 @@
 package bench
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+)
 
 // CellRef addresses one runnable cell of a registered figure by its
 // rendered labels. The perf gate (internal/perfgate) enumerates refs to
@@ -35,20 +38,30 @@ func RunnableCellRefs(o Options) []CellRef {
 
 // RunSingleCell executes the referenced cell exactly as Figure.Run would
 // (probe run and fault schedule included when faults are active) and
-// returns the measured cell.
-func RunSingleCell(ref CellRef, o Options) (Cell, error) {
+// returns the measured cell. ctx cancels the run mid-phase; the returned
+// error then wraps context.Canceled.
+func RunSingleCell(ctx context.Context, ref CellRef, o Options) (Cell, error) {
 	o = o.withDefaults()
+	if ctx != nil {
+		o.Ctx = ctx
+	}
 	f := FigureByID(ref.Figure, o)
 	if f == nil {
 		return Cell{}, fmt.Errorf("bench: unknown figure %q", ref.Figure)
 	}
+	return runSingleCellIn(f, ref, o)
+}
+
+// runSingleCellIn runs ref's cell within an already-resolved figure whose
+// Options match o (ExecuteSpec resolves once for validation and reuses).
+func runSingleCellIn(f *Figure, ref CellRef, o Options) (Cell, error) {
 	for _, r := range f.rows {
 		if r.label != ref.Row {
 			continue
 		}
 		for _, c := range r.cells {
 			if c.col == ref.Col {
-				return runCell(c, f.ID, r.label, o), nil
+				return runCell(c, f.ID, r.label, o)
 			}
 		}
 	}

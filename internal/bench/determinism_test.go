@@ -146,7 +146,7 @@ func TestRunnableCellRefs(t *testing.T) {
 		}
 	}
 	ref := CellRef{Figure: "fig6", Row: "Spark (Java)", Col: "5m"}
-	cell, err := RunSingleCell(ref, o)
+	cell, err := RunSingleCell(nil, ref, o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,10 +155,10 @@ func TestRunnableCellRefs(t *testing.T) {
 	if cell.String() != want.String() {
 		t.Errorf("RunSingleCell(%s) = %s, Figure.Run = %s", ref, cell, want)
 	}
-	if _, err := RunSingleCell(CellRef{Figure: "fig6", Row: "nope", Col: "5m"}, o); err == nil {
+	if _, err := RunSingleCell(nil, CellRef{Figure: "fig6", Row: "nope", Col: "5m"}, o); err == nil {
 		t.Error("RunSingleCell on a bogus row: want error")
 	}
-	if _, err := RunSingleCell(CellRef{Figure: "nope", Row: "x", Col: "y"}, o); err == nil {
+	if _, err := RunSingleCell(nil, CellRef{Figure: "nope", Row: "x", Col: "y"}, o); err == nil {
 		t.Error("RunSingleCell on a bogus figure: want error")
 	}
 }

@@ -19,21 +19,21 @@ type FaultConfig struct {
 	// Failures is the number of machine crashes injected (victims chosen
 	// deterministically from the seed; machine 0 is spared as the
 	// driver/master).
-	Failures int
+	Failures int `json:"failures,omitempty"`
 	// FailAt is the iteration offset of the crash window's start: the
 	// first crash lands after init + FailAt iterations (default 0.5 —
 	// mid-first-iteration).
-	FailAt float64
+	FailAt float64 `json:"failat,omitempty"`
 	// Straggle, when > 1, slows one machine by this factor for the whole
 	// measured run.
-	Straggle float64
+	Straggle float64 `json:"straggle,omitempty"`
 	// BSPCheckpointEvery is the Giraph checkpoint interval in supersteps:
 	// 0 picks the recovery figures' default (3) when faults are active,
 	// negative disables checkpointing.
-	BSPCheckpointEvery int
+	BSPCheckpointEvery int `json:"ckpt,omitempty"`
 	// GASSnapshotEvery is the GraphLab snapshot interval in rounds, same
 	// conventions as BSPCheckpointEvery.
-	GASSnapshotEvery int
+	GASSnapshotEvery int `json:"snap,omitempty"`
 }
 
 // Active reports whether the config injects any fault.

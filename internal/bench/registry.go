@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
 	"mlbench/internal/faults"
@@ -52,6 +53,26 @@ type Options struct {
 	// concurrently (the "-workers" CLI flag): 0 uses GOMAXPROCS, 1 runs
 	// sequentially. Virtual-clock results are identical for any value.
 	HostWorkers int
+	// Ctx, when non-nil, cancels the run: probe and measured clusters
+	// check it between simulation tasks, so an abandoned run stops
+	// mid-phase. Cancellation surfaces as an error from RunContext /
+	// RunSingleCell (never as a "Fail" cell). Nil means background.
+	Ctx context.Context
+	// Progress, when non-nil, receives one event per phase barrier of
+	// every measured (not probe) run. Events arrive host-sequentially in
+	// deterministic order and carry the virtual clock; the serving layer
+	// streams them to clients.
+	Progress func(ProgressEvent)
+}
+
+// ProgressEvent is one phase-barrier progress sample of a running cell.
+type ProgressEvent struct {
+	// Cell is the "figure/row/col" label of the running cell.
+	Cell string `json:"cell"`
+	// Phase is the simulation phase that just completed.
+	Phase string `json:"phase"`
+	// ClockSec is the cell's virtual clock after the barrier.
+	ClockSec float64 `json:"clock_sec"`
 }
 
 func (o Options) withDefaults() Options {
@@ -111,14 +132,15 @@ func newCluster(machines int, scale float64, o Options) *sim.Cluster {
 	}
 	cfg.Seed = o.Seed
 	cfg.HostWorkers = o.HostWorkers
+	cfg.Ctx = o.Ctx
 	return sim.New(cfg)
 }
 
 // newFaultCluster builds a cell's measured cluster with the trace
 // recorder attached plus the fault schedule and the engines'
 // checkpointing policies. A nil schedule with an inactive config is
-// newCluster plus tracing.
-func newFaultCluster(machines int, scale float64, o Options, sched *faults.Schedule, fc FaultConfig) *sim.Cluster {
+// newCluster plus tracing. cellName labels the cell's progress events.
+func newFaultCluster(machines int, scale float64, o Options, sched *faults.Schedule, fc FaultConfig, cellName string) *sim.Cluster {
 	cfg := sim.DefaultConfig(machines)
 	cfg.Scale = scale / o.ScaleDiv
 	if cfg.Scale < 1 {
@@ -128,6 +150,13 @@ func newFaultCluster(machines int, scale float64, o Options, sched *faults.Sched
 	cfg.Tracer = o.Recorder
 	cfg.HostWorkers = o.HostWorkers
 	cfg.Faults = sched
+	cfg.Ctx = o.Ctx
+	if o.Progress != nil {
+		progress := o.Progress
+		cfg.Progress = func(phase string, clockSec float64) {
+			progress(ProgressEvent{Cell: cellName, Phase: phase, ClockSec: clockSec})
+		}
+	}
 	cfg.Recovery.BSPCheckpointEvery = interval(fc.BSPCheckpointEvery)
 	cfg.Recovery.GASSnapshotEvery = interval(fc.GASSnapshotEvery)
 	return sim.New(cfg)
@@ -138,7 +167,11 @@ func newFaultCluster(machines int, scale float64, o Options, sched *faults.Sched
 // times, then the measured run re-executes with crashes scheduled at
 // absolute virtual times inside the measured window (and observed
 // recoveries recorded in the cell's notes).
-func runCell(c cellSpec, figID, row string, o Options) Cell {
+//
+// The returned error is non-nil only when Options.Ctx was cancelled:
+// simulated failures (OOM) become "Fail" cells, but a cancelled host run
+// is not a result at all and must propagate.
+func runCell(c cellSpec, figID, row string, o Options) (Cell, error) {
 	cell := Cell{
 		RowLabel:     row,
 		ColLabel:     c.col,
@@ -149,8 +182,9 @@ func runCell(c cellSpec, figID, row string, o Options) Cell {
 	}
 	if c.run == nil || cell.PaperNA {
 		cell.Skipped = true
-		return cell
+		return cell, nil
 	}
+	cellName := figID + "/" + row + "/" + c.col
 	fc := o.Faults
 	if c.faults != nil {
 		fc = *c.faults
@@ -159,17 +193,23 @@ func runCell(c cellSpec, figID, row string, o Options) Cell {
 	if fc.Active() {
 		fc = fc.withFaultDefaults()
 		probe := newCluster(c.machines, c.scale, o)
-		if res, err := c.run(probe); err == nil {
+		res, err := c.run(probe)
+		if sim.IsCanceled(err) {
+			return cell, fmt.Errorf("bench: cell %s: %w", cellName, err)
+		}
+		if err == nil {
 			sched = fc.schedule(res.InitSec, res.AvgIterSec(), o.Iterations, c.machines, o.Seed)
 		}
 	}
-	cellName := figID + "/" + row + "/" + c.col
 	if o.Recorder != nil {
 		o.Recorder.BeginCell(cellName)
 	}
-	cl := newFaultCluster(c.machines, c.scale, o, sched, fc)
+	cl := newFaultCluster(c.machines, c.scale, o, sched, fc, cellName)
 	res, err := c.run(cl)
 	if err != nil {
+		if sim.IsCanceled(err) {
+			return cell, fmt.Errorf("bench: cell %s: %w", cellName, err)
+		}
 		if sim.IsOOM(err) {
 			cell.Failed = true
 			cell.Notes = append(cell.Notes, err.Error())
@@ -189,14 +229,28 @@ func runCell(c cellSpec, figID, row string, o Options) Cell {
 	if o.Trace && o.Recorder != nil {
 		cell.Notes = append(cell.Notes, trace.TopPhases(o.Recorder, cellName, 5, FormatDuration)...)
 	}
-	return cell
+	return cell, nil
 }
 
 // Run executes the figure and returns the rendered table. When a tracing
 // option is set and no shared Recorder was supplied, the figure owns one
 // for the duration of the run and performs any file exports itself;
 // export errors land in the table's notes.
+//
+// Run cannot be cancelled; use RunContext when Options.Ctx matters.
 func (f *Figure) Run(o Options) *Table {
+	t, _ := f.RunContext(nil, o)
+	return t
+}
+
+// RunContext is Run with cancellation: a non-nil ctx (or Options.Ctx)
+// aborts the run mid-phase and returns the partially filled table
+// together with an error wrapping context.Canceled. An explicit ctx
+// argument takes precedence over Options.Ctx.
+func (f *Figure) RunContext(ctx context.Context, o Options) (*Table, error) {
+	if ctx != nil {
+		o.Ctx = ctx
+	}
 	o = o.withDefaults()
 	owned := false
 	if o.Recorder == nil && o.wantTrace() {
@@ -211,7 +265,11 @@ func (f *Figure) Run(o Options) *Table {
 			if !contains(t.Cols, c.col) {
 				t.Cols = append(t.Cols, c.col)
 			}
-			t.Cells[r.label][c.col] = runCell(c, f.ID, r.label, o)
+			cell, err := runCell(c, f.ID, r.label, o)
+			if err != nil {
+				return t, err
+			}
+			t.Cells[r.label][c.col] = cell
 		}
 	}
 	if owned {
@@ -229,7 +287,7 @@ func (f *Figure) Run(o Options) *Table {
 			t.Notes = append(t.Notes, o.Recorder.Metrics().Render())
 		}
 	}
-	return t
+	return t, nil
 }
 
 func contains(s []string, v string) bool {

@@ -1,0 +1,304 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"mlbench/internal/trace"
+)
+
+// RunSpec is the one serializable description of a benchmark run: which
+// figure (or single table cell) to execute, at what scale and seed, under
+// which fault schedule, with which trace capture. It is the single way
+// runs are configured — the HTTP body accepted by the experiment service,
+// the `mlbench run` CLI, and the perf gate all construct a RunSpec
+// instead of threading positional parameters.
+//
+// Identical normalized specs always produce byte-identical rendered
+// tables, at any Workers value: Workers and the trace export paths are
+// host-side execution concerns and are therefore excluded from CacheKey.
+type RunSpec struct {
+	// Figure is the figure ID to run (core.FigureIDs / `mlbench list`).
+	Figure string `json:"figure"`
+	// Row and Col, when both set, narrow the run to a single table cell
+	// (the labels RunnableCellRefs reports).
+	Row string `json:"row,omitempty"`
+	Col string `json:"col,omitempty"`
+	// Iterations per chain (default 2).
+	Iterations int `json:"iters,omitempty"`
+	// ScaleDiv divides the default scale-down factors (default 1).
+	ScaleDiv float64 `json:"scalediv,omitempty"`
+	// Seed is the simulation seed (default 1).
+	Seed uint64 `json:"seed,omitempty"`
+	// Workers bounds host goroutines (0 = GOMAXPROCS). It cannot affect
+	// any virtual-clock result and is not part of the cache key.
+	Workers int `json:"workers,omitempty"`
+	// Faults injects machine crashes and stragglers.
+	Faults FaultConfig `json:"faults"`
+	// Trace selects trace capture and export.
+	Trace TraceSpec `json:"trace"`
+}
+
+// TraceSpec is the RunSpec trace section.
+type TraceSpec struct {
+	// Phases appends each cell's most expensive simulation phases to its
+	// notes (`mlbench run -trace`). It changes the rendered table, so it
+	// participates in the cache key.
+	Phases bool `json:"phases,omitempty"`
+	// Out / CSV are export destinations for the Chrome trace-event JSON
+	// and CSV renderings. Pure output paths: excluded from the cache key,
+	// and ignored by the serving layer (which exposes download endpoints
+	// instead).
+	Out string `json:"out,omitempty"`
+	CSV string `json:"csv,omitempty"`
+	// Metrics collects the per-engine/cell/phase metrics registry.
+	Metrics bool `json:"metrics,omitempty"`
+}
+
+// ParseRunSpec decodes a JSON RunSpec strictly: unknown fields are
+// rejected so a typo'd knob fails loudly instead of silently running the
+// default experiment.
+func ParseRunSpec(data []byte) (RunSpec, error) {
+	var s RunSpec
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return RunSpec{}, fmt.Errorf("bench: parse run spec: %w", err)
+	}
+	return s, nil
+}
+
+// Normalize fills defaulted fields, so that a zero-knob spec and a spec
+// with the defaults spelled out are the same run — and hash to the same
+// CacheKey.
+func (s RunSpec) Normalize() RunSpec {
+	if s.Iterations == 0 {
+		s.Iterations = 2
+	}
+	if s.ScaleDiv == 0 {
+		s.ScaleDiv = 1
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	if s.Faults.Active() {
+		s.Faults = s.Faults.withFaultDefaults()
+	}
+	return s
+}
+
+// figureIDs lists the registered figure ids in paper order.
+func figureIDs() []string {
+	var ids []string
+	for _, f := range Figures(Options{}) {
+		ids = append(ids, f.ID)
+	}
+	return ids
+}
+
+// Validate checks the spec and returns an actionable error: unknown
+// figure, row, or column ids are rejected together with the list of valid
+// ids rather than silently matching nothing.
+func (s RunSpec) Validate() error {
+	if s.Figure == "" {
+		return fmt.Errorf("bench: run spec needs a figure (valid figures: %s)", strings.Join(figureIDs(), ", "))
+	}
+	f := FigureByID(s.Figure, Options{})
+	if f == nil {
+		return fmt.Errorf("bench: unknown figure %q (valid figures: %s)", s.Figure, strings.Join(figureIDs(), ", "))
+	}
+	if (s.Row == "") != (s.Col == "") {
+		return fmt.Errorf("bench: cell selection needs both row and col (got row=%q col=%q)", s.Row, s.Col)
+	}
+	if s.Row != "" {
+		var row *rowSpec
+		var rows []string
+		for i := range f.rows {
+			rows = append(rows, f.rows[i].label)
+			if f.rows[i].label == s.Row {
+				row = &f.rows[i]
+			}
+		}
+		if row == nil {
+			return fmt.Errorf("bench: figure %s has no row %q (valid rows: %s)", s.Figure, s.Row, strings.Join(rows, ", "))
+		}
+		var cols []string
+		found := false
+		for _, c := range row.cells {
+			cols = append(cols, c.col)
+			if c.col == s.Col {
+				found = true
+			}
+		}
+		if !found {
+			return fmt.Errorf("bench: figure %s row %q has no column %q (valid columns: %s)", s.Figure, s.Row, s.Col, strings.Join(cols, ", "))
+		}
+	}
+	if s.Iterations < 0 {
+		return fmt.Errorf("bench: iterations must be >= 0, got %d", s.Iterations)
+	}
+	if s.ScaleDiv < 0 {
+		return fmt.Errorf("bench: scalediv must be >= 0, got %v", s.ScaleDiv)
+	}
+	if s.Workers < 0 {
+		return fmt.Errorf("bench: workers must be >= 0, got %d", s.Workers)
+	}
+	if s.Faults.Failures < 0 {
+		return fmt.Errorf("bench: failures must be >= 0, got %d", s.Faults.Failures)
+	}
+	if s.Faults.Straggle != 0 && s.Faults.Straggle < 1 {
+		return fmt.Errorf("bench: straggle must be 0 (off) or >= 1, got %v", s.Faults.Straggle)
+	}
+	return nil
+}
+
+// keyDoc is the canonical cache-key document: exactly the normalized
+// fields that can influence the bytes of the rendered table, in a fixed
+// order. Workers and the trace export paths are deliberately absent —
+// results are byte-identical at any worker count, and export paths do
+// not change what is computed. Bump keyVersion when this set changes.
+type keyDoc struct {
+	V            int     `json:"v"`
+	Figure       string  `json:"figure"`
+	Row          string  `json:"row"`
+	Col          string  `json:"col"`
+	Iters        int     `json:"iters"`
+	ScaleDiv     float64 `json:"scalediv"`
+	Seed         uint64  `json:"seed"`
+	Failures     int     `json:"failures"`
+	FailAt       float64 `json:"failat"`
+	Straggle     float64 `json:"straggle"`
+	Ckpt         int     `json:"ckpt"`
+	Snap         int     `json:"snap"`
+	TracePhases  bool    `json:"trace_phases"`
+	TraceMetrics bool    `json:"trace_metrics"`
+}
+
+const keyVersion = 1
+
+// CacheKey returns the canonical content hash of the spec: the SHA-256 of
+// a fixed-order JSON document over the normalized result-affecting
+// fields. Two specs with equal keys always produce byte-identical
+// rendered tables, which is what makes request coalescing and result
+// caching sound.
+func (s RunSpec) CacheKey() string {
+	n := s.Normalize()
+	doc := keyDoc{
+		V:        keyVersion,
+		Figure:   n.Figure,
+		Row:      n.Row,
+		Col:      n.Col,
+		Iters:    n.Iterations,
+		ScaleDiv: n.ScaleDiv,
+		Seed:     n.Seed,
+		Failures: n.Faults.Failures, FailAt: n.Faults.FailAt, Straggle: n.Faults.Straggle,
+		Ckpt: n.Faults.BSPCheckpointEvery, Snap: n.Faults.GASSnapshotEvery,
+		TracePhases: n.Trace.Phases, TraceMetrics: n.Trace.Metrics,
+	}
+	data, err := json.Marshal(doc)
+	if err != nil { // fixed struct of scalars: cannot fail
+		panic(err)
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// Options translates the spec into harness options. Runtime wiring
+// (context, recorder, progress sink) is attached by ExecuteSpec — it is
+// not part of the serializable spec.
+func (s RunSpec) Options() Options {
+	return Options{
+		Iterations:  s.Iterations,
+		ScaleDiv:    s.ScaleDiv,
+		Seed:        s.Seed,
+		HostWorkers: s.Workers,
+		Trace:       s.Trace.Phases,
+		TraceOut:    s.Trace.Out,
+		TraceCSV:    s.Trace.CSV,
+		Metrics:     s.Trace.Metrics,
+		Faults:      s.Faults,
+	}
+}
+
+// ExecOptions is the runtime wiring for ExecuteSpec: everything a caller
+// may attach to a run that is not part of the run's identity.
+type ExecOptions struct {
+	// Recorder receives the structured trace. When nil and the spec
+	// enables any trace option, ExecuteSpec creates one; the recorder
+	// actually used is returned in the SpecResult.
+	Recorder *trace.Recorder
+	// Progress, when non-nil, receives a phase-barrier event stream of
+	// the measured runs (not the clean probe runs).
+	Progress func(ProgressEvent)
+	// SkipExports suppresses the spec's Trace.Out / Trace.CSV file writes;
+	// the serving layer sets it and exposes download endpoints instead.
+	SkipExports bool
+}
+
+// SpecResult is the outcome of one executed spec.
+type SpecResult struct {
+	// Spec is the normalized spec that ran.
+	Spec RunSpec
+	// Table is the run's rendered figure (a 1x1 table for cell runs).
+	Table *Table
+	// Recorder holds the run's trace when tracing was enabled or a
+	// recorder was supplied; nil otherwise.
+	Recorder *trace.Recorder
+}
+
+// ExecuteSpec validates, normalizes, and runs a spec. It is the single
+// execution path shared by the CLI, the experiment service, and the perf
+// gate; the returned table's bytes depend only on the spec's CacheKey
+// fields, never on ctx, the worker count, or the attached sinks.
+func ExecuteSpec(ctx context.Context, spec RunSpec, ex ExecOptions) (*SpecResult, error) {
+	spec = spec.Normalize()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	o := spec.Options()
+	o.Ctx = ctx
+	o.Progress = ex.Progress
+	o.Recorder = ex.Recorder
+	if o.Recorder == nil && o.wantTrace() {
+		o.Recorder = trace.NewRecorder()
+	}
+	res := &SpecResult{Spec: spec, Recorder: o.Recorder}
+	f := FigureByID(spec.Figure, o)
+	if spec.Row != "" {
+		cell, err := runSingleCellIn(f, CellRef{Figure: spec.Figure, Row: spec.Row, Col: spec.Col}, o)
+		if err != nil {
+			return nil, err
+		}
+		res.Table = &Table{
+			ID:    spec.Figure,
+			Title: f.Title,
+			Rows:  []string{spec.Row},
+			Cols:  []string{spec.Col},
+			Cells: map[string]map[string]Cell{spec.Row: {spec.Col: cell}},
+		}
+	} else {
+		t, err := f.RunContext(ctx, o)
+		if err != nil {
+			return nil, err
+		}
+		res.Table = t
+	}
+	if !ex.SkipExports {
+		if spec.Trace.Out != "" {
+			if err := trace.WriteChromeFile(spec.Trace.Out, o.Recorder); err != nil {
+				return nil, fmt.Errorf("bench: trace export: %w", err)
+			}
+		}
+		if spec.Trace.CSV != "" {
+			if err := trace.WriteCSVFile(spec.Trace.CSV, o.Recorder); err != nil {
+				return nil, fmt.Errorf("bench: trace CSV export: %w", err)
+			}
+		}
+	}
+	return res, nil
+}

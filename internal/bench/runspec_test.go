@@ -1,0 +1,206 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// A spec must survive a JSON round trip unchanged, and strict parsing
+// must reject unknown fields instead of silently ignoring a typo'd knob.
+func TestRunSpecJSONRoundTrip(t *testing.T) {
+	in := RunSpec{
+		Figure: "fig2", Row: "SimSQL", Col: "20m",
+		Iterations: 3, ScaleDiv: 0.5, Seed: 7, Workers: 4,
+		Faults: FaultConfig{Failures: 2, FailAt: 0.25, Straggle: 4, BSPCheckpointEvery: 2, GASSnapshotEvery: -1},
+		Trace:  TraceSpec{Phases: true, Out: "t.json", CSV: "t.csv", Metrics: true},
+	}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ParseRunSpec(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip changed the spec:\n in=%+v\nout=%+v", in, out)
+	}
+	if _, err := ParseRunSpec([]byte(`{"figur": "fig1a"}`)); err == nil {
+		t.Error("unknown field accepted; want a strict-parse error")
+	}
+	if _, err := ParseRunSpec([]byte(`{"figure": `)); err == nil {
+		t.Error("truncated JSON accepted")
+	}
+}
+
+// Golden cache keys: the canonical hash is part of the service's wire
+// contract (cached results are addressed by it), so accidental drift must
+// show up here. Regenerate deliberately if the keyDoc schema changes —
+// and bump keyVersion when you do.
+func TestRunSpecCacheKeyGolden(t *testing.T) {
+	golden := []struct {
+		name string
+		spec RunSpec
+		key  string
+	}{
+		{"zero-fig1a", RunSpec{Figure: "fig1a"},
+			"f336107eb87456a9e6a7c69370d1412a4f8b9e784afe8dc387f62a5ce7d3a183"},
+		{"cell", RunSpec{Figure: "fig6", Row: "Spark (Java)", Col: "5m"},
+			"de18314b180840221ce5c4e0cb88b5d096537c1f1fc11e118baaaf62022c37ee"},
+		{"faulted", RunSpec{Figure: "fig2", Faults: FaultConfig{Failures: 1}},
+			"8c3fa1583b3c32f4bbc41a6ba70659d12bd153f32126669c91309f2060d8e561"},
+		{"traced", RunSpec{Figure: "fig1a", Trace: TraceSpec{Phases: true}},
+			"a449f69f1232d76c28bb1afcef1cf4095f0536bf3b4a0d7b897ce2ea4a678df0"},
+	}
+	for _, g := range golden {
+		if got := g.spec.CacheKey(); got != g.key {
+			t.Errorf("%s: CacheKey = %s, want %s", g.name, got, g.key)
+		}
+	}
+}
+
+// Two specs describing the same computation must share a key; specs
+// differing only in host-side concerns (worker count, export paths) must
+// too, while any result-affecting knob must split them.
+func TestRunSpecCacheKeyEquivalence(t *testing.T) {
+	base := RunSpec{Figure: "fig1a"}
+	same := []RunSpec{
+		{Figure: "fig1a", Iterations: 2, ScaleDiv: 1, Seed: 1},
+		{Figure: "fig1a", Workers: 8},
+		{Figure: "fig1a", Trace: TraceSpec{Out: "a.json", CSV: "b.csv"}},
+	}
+	for i, s := range same {
+		if s.CacheKey() != base.CacheKey() {
+			t.Errorf("equivalent spec %d got a different key", i)
+		}
+	}
+	different := []RunSpec{
+		{Figure: "fig1b"},
+		{Figure: "fig1a", Iterations: 3},
+		{Figure: "fig1a", Seed: 2},
+		{Figure: "fig1a", ScaleDiv: 2},
+		{Figure: "fig1a", Faults: FaultConfig{Failures: 1}},
+		{Figure: "fig1a", Trace: TraceSpec{Phases: true}},
+		{Figure: "fig1a", Row: "SimSQL", Col: "10d/5m"},
+	}
+	seen := map[string]int{base.CacheKey(): -1}
+	for i, s := range different {
+		k := s.CacheKey()
+		if prev, dup := seen[k]; dup {
+			t.Errorf("specs %d and %d collide on key %s", i, prev, k)
+		}
+		seen[k] = i
+	}
+	// Fault defaults are normalized into the key: {Failures:1} and
+	// {Failures:1, FailAt:0.5} are the same schedule.
+	a := RunSpec{Figure: "fig2", Faults: FaultConfig{Failures: 1}}
+	b := RunSpec{Figure: "fig2", Faults: FaultConfig{Failures: 1, FailAt: 0.5, BSPCheckpointEvery: 3, GASSnapshotEvery: 3}}
+	if a.CacheKey() != b.CacheKey() {
+		t.Error("fault defaults not normalized into the cache key")
+	}
+}
+
+// Validation errors must be actionable: an unknown id comes back with the
+// list of valid ids.
+func TestRunSpecValidateActionable(t *testing.T) {
+	cases := []struct {
+		spec RunSpec
+		want []string // substrings of the error
+	}{
+		{RunSpec{}, []string{"needs a figure", "fig1a", "fig7c"}},
+		{RunSpec{Figure: "fig9"}, []string{`unknown figure "fig9"`, "fig1a", "fig2", "fig7c"}},
+		{RunSpec{Figure: "fig2", Row: "Sim", Col: "5m"}, []string{`no row "Sim"`, "SimSQL", "Giraph (Super Vertex)"}},
+		{RunSpec{Figure: "fig2", Row: "SimSQL", Col: "7m"}, []string{`no column "7m"`, "5m", "20m", "100m"}},
+		{RunSpec{Figure: "fig2", Row: "SimSQL"}, []string{"needs both row and col"}},
+		{RunSpec{Figure: "fig2", Iterations: -1}, []string{"iterations"}},
+		{RunSpec{Figure: "fig2", Faults: FaultConfig{Straggle: 0.5}}, []string{"straggle"}},
+	}
+	for _, c := range cases {
+		err := c.spec.Validate()
+		if err == nil {
+			t.Errorf("spec %+v: want validation error", c.spec)
+			continue
+		}
+		for _, w := range c.want {
+			if !strings.Contains(err.Error(), w) {
+				t.Errorf("spec %+v: error %q missing %q", c.spec, err, w)
+			}
+		}
+	}
+	if err := (RunSpec{Figure: "fig6", Row: "Spark (Java)", Col: "5m"}).Validate(); err != nil {
+		t.Errorf("valid cell spec rejected: %v", err)
+	}
+}
+
+// ExecuteSpec is the single execution path: a cell spec must reproduce
+// exactly the cell Figure.Run computes, and the rendered 1x1 table must
+// be byte-stable across repeat executions and worker counts.
+func TestExecuteSpecCellMatchesFigureRun(t *testing.T) {
+	spec := RunSpec{Figure: "fig6", Row: "Spark (Java)", Col: "5m", Iterations: 1, ScaleDiv: 0.02, Seed: 3}
+	res, err := ExecuteSpec(context.Background(), spec, ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := Options{Iterations: 1, ScaleDiv: 0.02, Seed: 3}
+	want := FigureByID("fig6", o).Run(o).Cells["Spark (Java)"]["5m"]
+	got := res.Table.Cells["Spark (Java)"]["5m"]
+	if got.String() != want.String() {
+		t.Errorf("ExecuteSpec cell = %s, Figure.Run = %s", got, want)
+	}
+	spec2 := spec
+	spec2.Workers = 1
+	res2, err := ExecuteSpec(context.Background(), spec2, ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Table.Render() != res2.Table.Render() {
+		t.Error("rendered table differs between worker counts")
+	}
+}
+
+// ExecuteSpec must reject an invalid spec before doing any work, and a
+// cancelled context must surface as an error, not as Fail cells.
+func TestExecuteSpecValidationAndCancel(t *testing.T) {
+	if _, err := ExecuteSpec(context.Background(), RunSpec{Figure: "nope"}, ExecOptions{}); err == nil {
+		t.Error("invalid spec executed")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := ExecuteSpec(ctx, RunSpec{Figure: "fig6", Iterations: 1, ScaleDiv: 0.02}, ExecOptions{})
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled run: got err %v, want context.Canceled", err)
+	}
+}
+
+// Progress events stream from measured runs with the cell label attached
+// and a non-decreasing per-cell clock.
+func TestExecuteSpecProgress(t *testing.T) {
+	var events []ProgressEvent
+	spec := RunSpec{Figure: "fig6", Row: "Spark (Java)", Col: "5m", Iterations: 1, ScaleDiv: 0.02}
+	_, err := ExecuteSpec(context.Background(), spec, ExecOptions{
+		Progress: func(e ProgressEvent) { events = append(events, e) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("no progress events")
+	}
+	var last float64
+	for _, e := range events {
+		if e.Cell != "fig6/Spark (Java)/5m" {
+			t.Fatalf("event cell = %q", e.Cell)
+		}
+		if e.Phase == "" {
+			t.Fatal("event without a phase name")
+		}
+		if e.ClockSec < last {
+			t.Fatalf("clock went backwards: %v after %v", e.ClockSec, last)
+		}
+		last = e.ClockSec
+	}
+}

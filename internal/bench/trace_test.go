@@ -22,7 +22,7 @@ func TestCellTraceClockIdentity(t *testing.T) {
 			o.Recorder = rec
 			run := fig7RunFn(o, platform)
 			rec.BeginCell(platform)
-			cl := newFaultCluster(5, gmmScale(10), o, nil, FaultConfig{})
+			cl := newFaultCluster(5, gmmScale(10), o, nil, FaultConfig{}, "test")
 			if _, err := run(cl); err != nil {
 				t.Fatal(err)
 			}
@@ -62,7 +62,7 @@ func TestFaultTraceAccounting(t *testing.T) {
 	rec := trace.NewRecorder()
 	o.Recorder = rec
 	rec.BeginCell("faulted")
-	cl := newFaultCluster(5, gmmScale(10), o, sched, fc)
+	cl := newFaultCluster(5, gmmScale(10), o, sched, fc, "test")
 	if _, err := run(cl); err != nil {
 		t.Fatal(err)
 	}

@@ -26,6 +26,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -46,6 +47,40 @@ type Cell = bench.Cell
 // bench.FaultConfig. Set it on Options.Faults (or Experiment.Faults).
 type FaultConfig = bench.FaultConfig
 
+// RunSpec is the serializable description of one run — figure or single
+// cell, scale, seed, fault schedule, trace capture — with JSON round-trip
+// (ParseRunSpec), validation, and a canonical CacheKey. It is the single
+// way runs are configured: the `mlbench run` CLI, the experiment
+// service's HTTP body, and the perf gate all construct one. See
+// bench.RunSpec.
+type RunSpec = bench.RunSpec
+
+// TraceSpec is the RunSpec trace section; see bench.TraceSpec.
+type TraceSpec = bench.TraceSpec
+
+// ExecOptions is the runtime wiring (recorder, progress sink) attached to
+// an Execute call; see bench.ExecOptions.
+type ExecOptions = bench.ExecOptions
+
+// SpecResult is the outcome of one executed spec; see bench.SpecResult.
+type SpecResult = bench.SpecResult
+
+// ProgressEvent is one phase-barrier progress sample; see
+// bench.ProgressEvent.
+type ProgressEvent = bench.ProgressEvent
+
+// ParseRunSpec decodes a JSON RunSpec strictly (unknown fields are
+// rejected with an actionable error).
+func ParseRunSpec(data []byte) (RunSpec, error) { return bench.ParseRunSpec(data) }
+
+// Execute validates, normalizes, and runs a spec; ctx cancels it
+// mid-phase. The rendered table depends only on the spec's CacheKey
+// fields — never on ctx, Workers, or the attached sinks — which is what
+// lets the serving layer coalesce and cache runs byte-identically.
+func Execute(ctx context.Context, spec RunSpec, ex ExecOptions) (*SpecResult, error) {
+	return bench.ExecuteSpec(ctx, spec, ex)
+}
+
 // Experiment is one reproducible benchmark run: a figure plus the options
 // and fault schedule to run it with. The zero Faults value reproduces the
 // paper's failure-free runs; identical fields always produce
@@ -61,13 +96,42 @@ type Experiment struct {
 	Faults FaultConfig
 }
 
-// Run executes the experiment and returns its table.
-func (e Experiment) Run() (*Table, error) {
+// Spec translates the experiment into the equivalent serializable
+// RunSpec (the Options' runtime wiring — recorder, progress, context —
+// is not part of a spec).
+func (e Experiment) Spec() RunSpec {
 	opts := e.Options
 	if e.Faults.Active() {
 		opts.Faults = e.Faults
 	}
-	return RunFigure(e.Figure, opts)
+	return RunSpec{
+		Figure:     e.Figure,
+		Iterations: opts.Iterations,
+		ScaleDiv:   opts.ScaleDiv,
+		Seed:       opts.Seed,
+		Workers:    opts.HostWorkers,
+		Faults:     opts.Faults,
+		Trace:      TraceSpec{Phases: opts.Trace, Out: opts.TraceOut, CSV: opts.TraceCSV, Metrics: opts.Metrics},
+	}
+}
+
+// Run executes the experiment and returns its table.
+func (e Experiment) Run() (*Table, error) {
+	return e.RunContext(context.Background())
+}
+
+// RunContext executes the experiment under ctx: cancellation stops the
+// simulation mid-phase and returns an error wrapping context.Canceled.
+func (e Experiment) RunContext(ctx context.Context) (*Table, error) {
+	opts := e.Options
+	if e.Faults.Active() {
+		opts.Faults = e.Faults
+	}
+	f := bench.FigureByID(e.Figure, opts)
+	if f == nil {
+		return nil, fmt.Errorf("core: unknown figure %q (have %v)", e.Figure, FigureIDs())
+	}
+	return f.RunContext(ctx, opts)
 }
 
 // FigureIDs lists every runnable figure of the paper's evaluation, in

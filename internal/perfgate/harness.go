@@ -120,7 +120,7 @@ func warmup(spec Spec) error {
 // Measure runs one spec through the warmup-then-N-repetitions loop and
 // aggregates wall ns/op and allocs/op. Allocation counts come from the
 // global runtime counters, so the harness assumes it is the only load on
-// the process (true for the mlbench -benchgate CLI); the minimum across
+// the process (true for the mlbench gate CLI); the minimum across
 // repetitions discards stray background allocations.
 func Measure(spec Spec, o HarnessOptions) (Result, error) {
 	o = o.withDefaults()

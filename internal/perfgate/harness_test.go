@@ -110,7 +110,7 @@ func TestCollectCells(t *testing.T) {
 	if f.Env.GoVersion == "" || f.Env.NumCPU <= 0 {
 		t.Errorf("env fingerprint not captured: %+v", f.Env)
 	}
-	specs := CellSpecs(bench.Options{Iterations: 1, ScaleDiv: GateScaleDiv, Seed: 1})
+	specs := CellSpecs(bench.RunSpec{Figure: "fig6", Iterations: 1, ScaleDiv: GateScaleDiv, Seed: 1})
 	if len(specs) < 100 {
 		t.Fatalf("CellSpecs = %d, want every runnable figure cell", len(specs))
 	}

@@ -22,7 +22,7 @@
 //   - A statistical comparator (compare.go): min-of-N plus median with a
 //     configurable noise tolerance, a hard fail on allocs/op growth, and
 //     warn-only environment mismatches, exposed as
-//     `mlbench -benchgate -baseline <json>` which exits nonzero on
+//     `mlbench gate -baseline <json>` which exits nonzero on
 //     regression.
 package perfgate
 
@@ -30,6 +30,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"mlbench/internal/bench"
 )
@@ -41,8 +42,8 @@ import (
 const SchemaVersion = 2
 
 // File is the versioned BENCH_host.json document. The figures section
-// holds `-hostbench` wall-vs-virtual speedup records; the benchmarks
-// section holds the `-benchgate` harness results that the comparator
+// holds `mlbench bench` wall-vs-virtual speedup records; the benchmarks
+// section holds the `mlbench gate` harness results that the comparator
 // consumes as a baseline.
 type File struct {
 	Benchmarks []Result                `json:"benchmarks,omitempty"`
@@ -66,13 +67,23 @@ func (f *File) Marshal() ([]byte, error) {
 	return append(data, '\n'), nil
 }
 
-// WriteFile writes the document to path.
+// WriteFile writes the document to path, creating parent directories as
+// needed (a -benchout path into a fresh results directory must not fail
+// with a bare open error).
 func (f *File) WriteFile(path string) error {
 	data, err := f.Marshal()
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, data, 0o644)
+	if dir := filepath.Dir(path); dir != "" && dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("perfgate: create output directory %s: %w", dir, err)
+		}
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("perfgate: write %s: %w", path, err)
+	}
+	return nil
 }
 
 // ReadFile parses a versioned BENCH_host.json. A version 1 file (the
@@ -87,7 +98,7 @@ func ReadFile(path string) (*File, error) {
 	if err := json.Unmarshal(data, &f); err != nil {
 		var v1 []bench.HostBenchRecord
 		if json.Unmarshal(data, &v1) == nil {
-			return nil, fmt.Errorf("perfgate: %s is a schema v1 array; regenerate it with mlbench -hostbench or -benchgate", path)
+			return nil, fmt.Errorf("perfgate: %s is a schema v1 array; regenerate it with mlbench bench or mlbench gate", path)
 		}
 		return nil, fmt.Errorf("perfgate: parse %s: %w", path, err)
 	}

@@ -1,6 +1,7 @@
 package perfgate
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -147,8 +148,12 @@ func traceExportSpec() Spec {
 // CellSpecs returns one spec per runnable figure cell at the gate's
 // reduced scale: one op = the cell's full simulated run. Expected Fail
 // cells (the paper's OOM entries) still measure — the wall time of
-// reaching the OOM is as gateable as any other.
-func CellSpecs(o bench.Options) []Spec {
+// reaching the OOM is as gateable as any other. The spec's Figure, cell
+// selection, and trace fields are ignored: the gate enumerates every
+// runnable cell, untraced.
+func CellSpecs(rs bench.RunSpec) []Spec {
+	o := rs.Options()
+	o.Trace, o.TraceOut, o.TraceCSV, o.Metrics = false, "", "", false
 	refs := bench.RunnableCellRefs(o)
 	specs := make([]Spec, 0, len(refs))
 	for _, ref := range refs {
@@ -158,7 +163,7 @@ func CellSpecs(o bench.Options) []Spec {
 			N:    1,
 			Run: func(n int) error {
 				for i := 0; i < n; i++ {
-					if _, err := bench.RunSingleCell(ref, o); err != nil {
+					if _, err := bench.RunSingleCell(context.Background(), ref, o); err != nil {
 						return err
 					}
 				}
@@ -171,9 +176,10 @@ func CellSpecs(o bench.Options) []Spec {
 
 // CollectOptions configures one gate measurement pass.
 type CollectOptions struct {
-	// Bench configures the figure-cell runs; zero fields default to
-	// Iterations 1, ScaleDiv GateScaleDiv, Seed 1.
-	Bench bench.Options
+	// Spec configures the figure-cell runs (the same core.RunSpec the CLI
+	// and the experiment service use); zero fields default to Iterations
+	// 1, ScaleDiv GateScaleDiv, Seed 1.
+	Spec bench.RunSpec
 	// Harness tunes reps, the slowdown canary, and progress logging.
 	Harness HarnessOptions
 	// SkipMicros / SkipCells drop a section (both run by default).
@@ -182,12 +188,13 @@ type CollectOptions struct {
 }
 
 func (o CollectOptions) withDefaults() CollectOptions {
-	if o.Bench.Iterations == 0 {
-		o.Bench.Iterations = 1
+	if o.Spec.Iterations == 0 {
+		o.Spec.Iterations = 1
 	}
-	if o.Bench.ScaleDiv == 0 {
-		o.Bench.ScaleDiv = GateScaleDiv
+	if o.Spec.ScaleDiv == 0 {
+		o.Spec.ScaleDiv = GateScaleDiv
 	}
+	o.Spec = o.Spec.Normalize()
 	return o
 }
 
@@ -202,7 +209,7 @@ func Collect(o CollectOptions) (*File, error) {
 		specs = append(specs, MicroSpecs()...)
 	}
 	if !o.SkipCells {
-		specs = append(specs, CellSpecs(o.Bench)...)
+		specs = append(specs, CellSpecs(o.Spec)...)
 	}
 	results, err := MeasureAll(specs, o.Harness)
 	if err != nil {

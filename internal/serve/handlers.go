@@ -1,0 +1,306 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"mlbench/internal/core"
+	"mlbench/internal/trace"
+)
+
+// maxBodyBytes bounds a submitted RunSpec body; specs are a few hundred
+// bytes, so anything near the limit is not a spec.
+const maxBodyBytes = 1 << 20
+
+// JobStatus is the JSON view of a job (GET /v1/runs/{id}).
+type JobStatus struct {
+	ID       string       `json:"id"`
+	Key      string       `json:"key"`
+	State    string       `json:"state"`
+	Spec     core.RunSpec `json:"spec"`
+	Created  time.Time    `json:"created"`
+	Finished *time.Time   `json:"finished,omitempty"`
+	Hits     int          `json:"hits"`
+	Error    string       `json:"error,omitempty"`
+	Matched  int          `json:"matched,omitempty"`
+	Total    int          `json:"total,omitempty"`
+	Table    string       `json:"table,omitempty"`
+}
+
+// status snapshots a job under the server lock.
+func (s *Server) status(j *Job) JobStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := JobStatus{
+		ID: j.ID, Key: j.Key, State: j.state, Spec: j.Spec,
+		Created: j.created, Hits: j.hits, Error: j.errMsg,
+	}
+	if terminal(j.state) {
+		f := j.finished
+		st.Finished = &f
+	}
+	if j.output != nil {
+		st.Matched, st.Total, st.Table = j.output.Matched, j.output.Total, j.output.Table
+	}
+	return st
+}
+
+// Handler returns the service's HTTP API:
+//
+//	GET    /healthz             liveness
+//	GET    /v1/figures          runnable figure ids
+//	POST   /v1/runs             submit a RunSpec (JSON body)
+//	GET    /v1/runs             list jobs
+//	GET    /v1/runs/{id}        job status (+ result when done)
+//	GET    /v1/runs/{id}/table  rendered table, text/plain (exact CLI bytes)
+//	GET    /v1/runs/{id}/events SSE lifecycle + progress stream
+//	GET    /v1/runs/{id}/trace  Chrome trace-event JSON download
+//	GET    /v1/runs/{id}/trace.csv  CSV trace download
+//	POST   /v1/runs/{id}/cancel cancel (DELETE /v1/runs/{id} is equivalent)
+//	GET    /v1/metrics          queue/cache/worker counters
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+	})
+	mux.HandleFunc("GET /v1/figures", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"figures": core.FigureIDs()})
+	})
+	mux.HandleFunc("POST /v1/runs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/runs", s.handleList)
+	mux.HandleFunc("GET /v1/runs/{id}", s.withJob(s.handleGet))
+	mux.HandleFunc("GET /v1/runs/{id}/table", s.withJob(s.handleTable))
+	mux.HandleFunc("GET /v1/runs/{id}/events", s.withJob(s.handleEvents))
+	mux.HandleFunc("GET /v1/runs/{id}/trace", s.withJob(s.handleTraceChrome))
+	mux.HandleFunc("GET /v1/runs/{id}/trace.csv", s.withJob(s.handleTraceCSV))
+	mux.HandleFunc("POST /v1/runs/{id}/cancel", s.withJob(s.handleCancel))
+	mux.HandleFunc("DELETE /v1/runs/{id}", s.withJob(s.handleCancel))
+	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Metrics())
+	})
+	return mux
+}
+
+// withJob resolves the {id} path segment or 404s.
+func (s *Server) withJob(h func(http.ResponseWriter, *http.Request, *Job)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		j := s.Job(r.PathValue("id"))
+		if j == nil {
+			writeError(w, http.StatusNotFound, fmt.Sprintf("no run %q", r.PathValue("id")))
+			return
+		}
+		h(w, r, j)
+	}
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "read body: "+err.Error())
+		return
+	}
+	spec, err := core.ParseRunSpec(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	j, disp, err := s.Submit(spec)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter/time.Second)))
+		writeError(w, http.StatusTooManyRequests, err.Error())
+		return
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	case err != nil: // validation
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	st := s.status(j)
+	code := http.StatusAccepted
+	if disp.Cached {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, map[string]any{
+		"id": j.ID, "key": j.Key, "state": st.State,
+		"coalesced": disp.Coalesced, "cached": disp.Cached,
+	})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	s.mu.Unlock()
+	runs := make([]JobStatus, 0, len(ids))
+	for _, id := range ids {
+		if j := s.Job(id); j != nil {
+			st := s.status(j)
+			st.Table = "" // list stays light; fetch tables per run
+			runs = append(runs, st)
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"runs": runs})
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request, j *Job) {
+	writeJSON(w, http.StatusOK, s.status(j))
+}
+
+// handleTable serves the rendered table verbatim — these bytes are the
+// service's determinism contract (identical to the CLI's output for the
+// same spec), so the handler writes the stored string untouched.
+func (s *Server) handleTable(w http.ResponseWriter, r *http.Request, j *Job) {
+	st := s.status(j)
+	if st.State != StateDone {
+		writeError(w, http.StatusConflict, fmt.Sprintf("run %s is %s", j.ID, st.State))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, st.Table)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request, j *Job) {
+	state, _ := s.Cancel(j.ID)
+	writeJSON(w, http.StatusOK, map[string]any{"id": j.ID, "state": state})
+}
+
+// traceRecorder returns the completed job's recorder, or an error the
+// handler already wrote.
+func (s *Server) traceRecorder(w http.ResponseWriter, j *Job) *trace.Recorder {
+	st := s.status(j)
+	if st.State != StateDone {
+		writeError(w, http.StatusConflict, fmt.Sprintf("run %s is %s", j.ID, st.State))
+		return nil
+	}
+	s.mu.Lock()
+	out := j.output
+	s.mu.Unlock()
+	if out == nil || out.Recorder == nil {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("run %s captured no trace", j.ID))
+		return nil
+	}
+	return out.Recorder
+}
+
+func (s *Server) handleTraceChrome(w http.ResponseWriter, r *http.Request, j *Job) {
+	rec := s.traceRecorder(w, j)
+	if rec == nil {
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%s-trace.json", j.ID))
+	if err := trace.WriteChrome(w, rec); err != nil {
+		s.logf("serve: %s trace export: %v", j.ID, err)
+	}
+}
+
+func (s *Server) handleTraceCSV(w http.ResponseWriter, r *http.Request, j *Job) {
+	rec := s.traceRecorder(w, j)
+	if rec == nil {
+		return
+	}
+	w.Header().Set("Content-Type", "text/csv")
+	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%s-trace.csv", j.ID))
+	if err := trace.WriteCSV(w, rec); err != nil {
+		s.logf("serve: %s trace CSV export: %v", j.ID, err)
+	}
+}
+
+// handleEvents streams the job lifecycle over SSE: the history so far
+// (every subscriber sees queued/started), then live progress frames,
+// ending with the terminal event. Progress frames may be dropped for a
+// slow client; the terminal frame is always delivered because it is
+// rebuilt from the job record after the fan-out channel closes.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request, j *Job) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusNotImplemented, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	history, ch := s.subscribe(j)
+	defer s.unsubscribe(j, ch)
+	sawTerminal := false
+	for _, ev := range history {
+		writeSSE(w, ev)
+		sawTerminal = sawTerminal || terminal(ev.Type)
+	}
+	fl.Flush()
+	if sawTerminal || ch == nil {
+		s.writeTerminalIfMissing(w, j, sawTerminal)
+		fl.Flush()
+		return
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, open := <-ch:
+			if !open {
+				s.writeTerminalIfMissing(w, j, sawTerminal)
+				fl.Flush()
+				return
+			}
+			writeSSE(w, ev)
+			sawTerminal = sawTerminal || terminal(ev.Type)
+			fl.Flush()
+			if terminal(ev.Type) {
+				return
+			}
+		}
+	}
+}
+
+// writeTerminalIfMissing emits the terminal event from the job record
+// when the live channel closed before delivering it (e.g. the buffered
+// frame was dropped or the subscriber raced the finish).
+func (s *Server) writeTerminalIfMissing(w io.Writer, j *Job, sawTerminal bool) {
+	if sawTerminal {
+		return
+	}
+	st := s.status(j)
+	if !terminal(st.State) {
+		return
+	}
+	switch st.State {
+	case StateDone:
+		writeSSE(w, Event{Type: StateDone, Data: map[string]any{
+			"id": st.ID, "matched": st.Matched, "total": st.Total, "table": st.Table}})
+	case StateFailed:
+		writeSSE(w, Event{Type: StateFailed, Data: map[string]any{"id": st.ID, "error": st.Error}})
+	case StateCanceled:
+		writeSSE(w, Event{Type: StateCanceled, Data: map[string]any{"id": st.ID}})
+	}
+}
+
+// writeSSE renders one event frame. The payload is JSON on a single data
+// line (json.Marshal never emits raw newlines).
+func writeSSE(w io.Writer, ev Event) {
+	data, err := json.Marshal(ev.Data)
+	if err != nil {
+		data = []byte(`{"error":"marshal failed"}`)
+	}
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]any{"error": msg})
+}

@@ -1,0 +1,74 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+// Main runs the experiment service until SIGTERM/SIGINT, then drains
+// gracefully: the listener stops accepting, queued and in-flight runs
+// finish (up to -draintimeout), and the process exits 0. Shared by
+// cmd/mlbenchd and `mlbench serve`.
+func Main(args []string) int {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
+	workers := fs.Int("workers", 0, "experiment worker pool size (0 = default)")
+	queue := fs.Int("queue", 0, "queue depth before 429 backpressure (0 = default)")
+	cache := fs.Int("cache", 0, "completed results retained for cache hits (0 = default)")
+	drainTimeout := fs.Duration("draintimeout", 2*time.Minute, "max wait for in-flight runs on shutdown")
+	quiet := fs.Bool("quiet", false, "suppress per-job log lines")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "serve: unexpected arguments: %v\n", fs.Args())
+		return 2
+	}
+
+	logf := func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) }
+	cfg := Config{Workers: *workers, QueueDepth: *queue, CacheSize: *cache}
+	if !*quiet {
+		cfg.Log = logf
+	}
+	srv := New(cfg)
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	logf("mlbenchd: listening on http://%s (POST /v1/runs)", *addr)
+
+	select {
+	case err := <-errCh:
+		logf("mlbenchd: listen: %v", err)
+		return 1
+	case <-ctx.Done():
+	}
+
+	logf("mlbenchd: shutting down, draining in-flight runs (timeout %s)", *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Stop accepting first so a drain can't race new submissions, then
+	// let the pool finish; SSE clients of in-flight runs keep their
+	// connections until their run reaches a terminal state.
+	shutdownErr := httpSrv.Shutdown(drainCtx)
+	drainErr := srv.Drain(drainCtx)
+	if shutdownErr != nil && !errors.Is(shutdownErr, http.ErrServerClosed) {
+		logf("mlbenchd: shutdown: %v", shutdownErr)
+	}
+	if drainErr != nil {
+		logf("mlbenchd: %v", drainErr)
+		return 1
+	}
+	logf("mlbenchd: drained cleanly")
+	return 0
+}

@@ -1,0 +1,110 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"mlbench/internal/core"
+	"mlbench/internal/trace"
+)
+
+// TestServedTableMatchesDirectRun drives the real DefaultRunner end to
+// end on one reduced-scale cell and asserts the acceptance criterion:
+// the bytes served by /v1/runs/{id}/table are identical to what a
+// direct core.Execute (the `mlbench run` path) renders — fresh,
+// coalesced, and cached, regardless of the submitted worker count.
+func TestServedTableMatchesDirectRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real simulation run")
+	}
+	spec := core.RunSpec{Figure: "fig6", Row: "Spark (Java)", Col: "5m", Iterations: 1, ScaleDiv: 0.02}
+	res, err := core.Execute(context.Background(), spec, core.ExecOptions{SkipExports: true})
+	if err != nil {
+		t.Fatalf("direct Execute: %v", err)
+	}
+	want := res.Table.Render()
+
+	s, ts := newTestServer(t, Config{Workers: 2})
+
+	body := `{"figure":"fig6","row":"Spark (Java)","col":"5m","iters":1,"scalediv":0.02}`
+	_, m1 := postSpec(t, ts, body)
+	id := m1["id"].(string)
+	waitState(t, s, id, StateDone)
+
+	code, got := getBody(t, ts.URL+"/v1/runs/"+id+"/table")
+	if code != http.StatusOK {
+		t.Fatalf("table fetch: %d", code)
+	}
+	if got != want {
+		t.Fatalf("served table differs from direct run:\n--- served ---\n%s--- direct ---\n%s", got, want)
+	}
+
+	// Same spec at a different worker count: cache hit, same bytes.
+	_, m2 := postSpec(t, ts, `{"figure":"fig6","row":"Spark (Java)","col":"5m","iters":1,"scalediv":0.02,"workers":3}`)
+	if m2["id"].(string) != id || !m2["cached"].(bool) {
+		t.Fatalf("worker-count variant should be a cache hit on %s, got %v", id, m2)
+	}
+	_, got2 := getBody(t, ts.URL+"/v1/runs/"+id+"/table")
+	if got2 != want {
+		t.Fatalf("cached table differs from direct run")
+	}
+
+	// The run captured a trace; both download endpoints serve it.
+	code, chrome := getBody(t, ts.URL+"/v1/runs/"+id+"/trace")
+	if code != http.StatusOK || !strings.Contains(chrome, `"traceEvents"`) {
+		t.Fatalf("trace endpoint = %d (traceEvents present: %v)", code, strings.Contains(chrome, `"traceEvents"`))
+	}
+	code, csv := getBody(t, ts.URL+"/v1/runs/"+id+"/trace.csv")
+	if code != http.StatusOK || !strings.HasPrefix(csv, "type,cell,cat,name,machine") {
+		t.Fatalf("trace.csv endpoint = %d %q...", code, csv[:min(len(csv), 60)])
+	}
+}
+
+// TestRealRunCancellation cancels an in-flight simulation and asserts
+// the worker comes back (the sim observes ctx mid-phase).
+func TestRealRunCancellation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real simulation run")
+	}
+	started := make(chan struct{}, 1)
+	runner := func(ctx context.Context, spec core.RunSpec, progress func(core.ProgressEvent)) (*RunOutput, error) {
+		started <- struct{}{}
+		rec := trace.NewRecorder()
+		_, err := core.Execute(ctx, spec, core.ExecOptions{Recorder: rec, Progress: progress, SkipExports: true})
+		if err != nil {
+			return nil, err
+		}
+		return &RunOutput{Table: "unreachable"}, nil
+	}
+	s := New(Config{Workers: 1, Runner: runner})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Drain(ctx)
+	}()
+
+	// A full fig1a run takes long enough that cancellation lands mid-run.
+	j, _, err := s.Submit(core.RunSpec{Figure: "fig1a", Iterations: 2})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	<-started
+	time.Sleep(20 * time.Millisecond)
+	if st, ok := s.Cancel(j.ID); !ok {
+		t.Fatalf("Cancel: unknown job (state %q)", st)
+	}
+	select {
+	case <-j.done:
+	case <-time.After(15 * time.Second):
+		t.Fatalf("cancelled simulation did not stop")
+	}
+	if st := s.status(j); st.State != StateCanceled {
+		t.Fatalf("state = %s, want canceled", st.State)
+	}
+	if met := s.Metrics(); met.Running != 0 {
+		t.Fatalf("running = %d after cancel, want 0", met.Running)
+	}
+}

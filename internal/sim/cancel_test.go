@@ -1,0 +1,97 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+// A pre-cancelled context must abort a phase before any task runs or the
+// clock moves.
+func TestRunPhaseCanceledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := DefaultConfig(4)
+	cfg.Ctx = ctx
+	cl := New(cfg)
+	var ran atomic.Int32
+	err := cl.RunPhaseF("work", func(machine int, m *Meter) error {
+		ran.Add(1)
+		m.ChargeSec(1)
+		return nil
+	})
+	if err == nil {
+		t.Fatal("RunPhase on a cancelled context: want error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("error %v does not wrap context.Canceled", err)
+	}
+	if !IsCanceled(err) {
+		t.Errorf("IsCanceled(%v) = false", err)
+	}
+	if ran.Load() != 0 {
+		t.Errorf("%d tasks ran after cancellation", ran.Load())
+	}
+	if cl.Now() != 0 {
+		t.Errorf("clock moved to %v on a cancelled phase", cl.Now())
+	}
+}
+
+// Cancelling from inside a task stops the remaining tasks mid-phase: with
+// sequential host execution, machine 0's task cancels and no later
+// machine's task starts.
+func TestRunPhaseCancelMidPhase(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cfg := DefaultConfig(8)
+	cfg.Ctx = ctx
+	cfg.HostWorkers = 1
+	cl := New(cfg)
+	var ran atomic.Int32
+	err := cl.RunPhaseF("work", func(machine int, m *Meter) error {
+		ran.Add(1)
+		if machine == 0 {
+			cancel()
+		}
+		m.ChargeSec(1)
+		return nil
+	})
+	if err == nil || !IsCanceled(err) {
+		t.Fatalf("mid-phase cancel: got err %v", err)
+	}
+	if got := ran.Load(); got != 1 {
+		t.Errorf("%d tasks ran after mid-phase cancel, want 1", got)
+	}
+}
+
+// The Progress hook fires once per phase barrier, host-sequentially, with
+// a non-decreasing clock.
+func TestProgressHook(t *testing.T) {
+	cfg := DefaultConfig(4)
+	var phases []string
+	var clocks []float64
+	cfg.Progress = func(phase string, clockSec float64) {
+		phases = append(phases, phase)
+		clocks = append(clocks, clockSec)
+	}
+	cl := New(cfg)
+	for i := 0; i < 3; i++ {
+		if err := cl.RunPhaseF("step", func(machine int, m *Meter) error {
+			m.ChargeSec(1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(phases) != 3 {
+		t.Fatalf("progress fired %d times, want 3 (%v)", len(phases), phases)
+	}
+	for i := 1; i < len(clocks); i++ {
+		if clocks[i] <= clocks[i-1] {
+			t.Errorf("clock not increasing at progress %d: %v", i, clocks)
+		}
+	}
+	if clocks[len(clocks)-1] != cl.Now() {
+		t.Errorf("last progress clock %v != cluster clock %v", clocks[len(clocks)-1], cl.Now())
+	}
+}

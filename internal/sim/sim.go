@@ -30,6 +30,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -76,6 +77,20 @@ type Config struct {
 	// Every virtual-clock number is byte-identical across worker counts;
 	// see the "Host execution model" section of DESIGN.md.
 	HostWorkers int
+	// Ctx, when non-nil, cancels the run: RunPhase checks it at phase
+	// entry and between tasks, so an abandoned request stops burning host
+	// workers mid-phase rather than at the next figure boundary. A
+	// cancelled phase returns an error wrapping the context error;
+	// virtual-clock state after a cancellation is undefined and must be
+	// discarded. A cluster is request-scoped, which is why the context
+	// lives in its Config rather than in every RunPhase signature.
+	Ctx context.Context
+	// Progress, when non-nil, is called on the host goroutine at every
+	// phase barrier with the phase name and the virtual clock after the
+	// barrier (including any fault settling). It runs host-sequentially in
+	// deterministic order and must not mutate cluster state; the serving
+	// layer uses it to stream per-iteration progress.
+	Progress func(phase string, clockSec float64)
 }
 
 // DefaultConfig returns the paper's experimental platform: m2.4xlarge
@@ -287,6 +302,30 @@ func (c *Cluster) hostWorkers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// canceled returns the phase-abort error when the cluster's context is
+// done, nil otherwise. Safe to call concurrently from worker goroutines.
+func (c *Cluster) canceled(phase string) error {
+	if c.cfg.Ctx == nil {
+		return nil
+	}
+	if err := c.cfg.Ctx.Err(); err != nil {
+		return fmt.Errorf("sim: phase %q canceled: %w", phase, err)
+	}
+	return nil
+}
+
+// IsCanceled reports whether err stems from a cancelled run context.
+func IsCanceled(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// progress invokes the configured Progress hook with the current clock.
+func (c *Cluster) progress(phase string) {
+	if c.cfg.Progress != nil {
+		c.cfg.Progress(phase, c.clock)
+	}
+}
+
 // RunPhase executes a barrier-synchronized phase: all tasks run (grouped by
 // machine, deterministically in submission order), their charged costs are
 // converted to per-machine times, and the virtual clock advances by the
@@ -316,6 +355,9 @@ func (c *Cluster) hostWorkers() int {
 // recovery error — e.g. a simulated OOM while recomputing lost state —
 // is returned exactly like a task error.
 func (c *Cluster) RunPhase(name string, tasks []Task) error {
+	if err := c.canceled(name); err != nil {
+		return err
+	}
 	start := c.clock
 	perMachinePar := make([]float64, c.cfg.Machines)
 	perMachineSer := make([]float64, c.cfg.Machines)
@@ -341,6 +383,11 @@ func (c *Cluster) RunPhase(name string, tasks []Task) error {
 		for _, i := range idxs {
 			st := &states[i]
 			st.meter = &Meter{machine: c.machines[tasks[i].Machine], cluster: c}
+			if err := c.canceled(name); err != nil {
+				st.err = err
+				st.ran = true
+				break
+			}
 			func() {
 				defer func() {
 					if p := recover(); p != nil {
@@ -490,9 +537,11 @@ func (c *Cluster) RunPhase(name string, tasks []Task) error {
 	}
 	if firstErr == nil && len(c.crashes) > 0 {
 		if err := c.settleFaults(name, start, machineSec); err != nil {
+			c.progress(name)
 			return err
 		}
 	}
+	c.progress(name)
 	return firstErr
 }
 

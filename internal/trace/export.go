@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 )
@@ -146,9 +147,27 @@ func WriteChrome(w io.Writer, r *Recorder) error {
 	return err
 }
 
-// WriteChromeFile writes WriteChrome output to path.
-func WriteChromeFile(path string, r *Recorder) error {
+// createOutput creates path's parent directories as needed before
+// creating the file, so an export to a not-yet-existing directory
+// succeeds instead of failing with a bare "open: no such file or
+// directory"; remaining failures name the path and operation.
+func createOutput(path string) (*os.File, error) {
+	if dir := filepath.Dir(path); dir != "" && dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("trace: create output directory %s: %w", dir, err)
+		}
+	}
 	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: create output file: %w", err)
+	}
+	return f, nil
+}
+
+// WriteChromeFile writes WriteChrome output to path, creating parent
+// directories as needed.
+func WriteChromeFile(path string, r *Recorder) error {
+	f, err := createOutput(path)
 	if err != nil {
 		return err
 	}
@@ -188,9 +207,10 @@ func WriteCSV(w io.Writer, r *Recorder) error {
 	return nil
 }
 
-// WriteCSVFile writes WriteCSV output to path.
+// WriteCSVFile writes WriteCSV output to path, creating parent
+// directories as needed.
 func WriteCSVFile(path string, r *Recorder) error {
-	f, err := os.Create(path)
+	f, err := createOutput(path)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# Smoke test for the experiment service (internal/serve): start mlbenchd,
+# submit a reduced-scale fig1a run, assert the identical second request is
+# served from cache in well under 100ms, check the table and trace
+# downloads, then SIGTERM the server and require a clean (exit 0) drain.
+#
+# Usage: scripts/serve_smoke.sh [path-to-mlbenchd]
+set -euo pipefail
+
+BIN="${1:-./mlbenchd}"
+ADDR="127.0.0.1:18080"
+BASE="http://$ADDR"
+SPEC='{"figure":"fig1a","iters":1,"scalediv":0.05}'
+
+fail() { echo "serve_smoke: FAIL: $*" >&2; exit 1; }
+# Extract a scalar field from the server's indented JSON.
+jfield() { sed -n "s/.*\"$1\": \"\{0,1\}\([^\",}]*\)\"\{0,1\},\{0,1\}\$/\1/p" | head -1; }
+
+"$BIN" -addr "$ADDR" -workers 1 &
+PID=$!
+cleanup() { kill -9 "$PID" 2>/dev/null || true; }
+trap cleanup EXIT
+
+for _ in $(seq 1 100); do
+  curl -sf "$BASE/healthz" >/dev/null 2>&1 && break
+  sleep 0.1
+done
+curl -sf "$BASE/healthz" >/dev/null || fail "server did not become ready"
+
+# 1. Submit and wait for completion.
+resp=$(curl -sf -X POST "$BASE/v1/runs" -d "$SPEC") || fail "submit rejected: $resp"
+id=$(echo "$resp" | jfield id)
+[ -n "$id" ] || fail "no run id in: $resp"
+echo "serve_smoke: submitted $id"
+
+state=""
+for _ in $(seq 1 600); do
+  state=$(curl -sf "$BASE/v1/runs/$id" | jfield state)
+  case "$state" in
+    done) break ;;
+    failed|canceled) fail "run $id ended $state" ;;
+  esac
+  sleep 0.5
+done
+[ "$state" = "done" ] || fail "run $id did not finish (state: $state)"
+echo "serve_smoke: $id done"
+
+# 2. The identical spec must be a cache hit answered in <100ms.
+t0=$(date +%s%N)
+resp2=$(curl -sf -X POST "$BASE/v1/runs" -d "$SPEC")
+t1=$(date +%s%N)
+ms=$(( (t1 - t0) / 1000000 ))
+echo "$resp2" | grep -q '"cached": true' || fail "second request not cached: $resp2"
+[ "$(echo "$resp2" | jfield id)" = "$id" ] || fail "cache hit landed on a different job: $resp2"
+[ "$ms" -lt 100 ] || fail "cached response took ${ms}ms (>= 100ms)"
+echo "serve_smoke: cache hit in ${ms}ms"
+
+# 3. Artifacts: the rendered table and both trace downloads. Substring
+# checks instead of `... | grep -q`: grep quits at the first match and
+# the upstream write then fails the pipeline under pipefail.
+table=$(curl -sf "$BASE/v1/runs/$id/table") || fail "table download failed"
+[[ "$table" == *GMM* ]] || fail "table body missing figure title: $table"
+chrome=$(curl -sf "$BASE/v1/runs/$id/trace") || fail "chrome trace download failed"
+[[ "$chrome" == *'"traceEvents"'* ]] || fail "chrome trace download broken"
+csv=$(curl -sf "$BASE/v1/runs/$id/trace.csv") || fail "csv trace download failed"
+[[ "$csv" == type,cell,cat* ]] || fail "csv trace download broken"
+metrics=$(curl -sf "$BASE/v1/metrics") || fail "metrics download failed"
+[[ "$metrics" == *'"cache_hits": 1'* ]] || fail "metrics did not count the cache hit"
+echo "serve_smoke: table + trace downloads OK"
+
+# 4. SIGTERM must drain gracefully and exit 0.
+kill -TERM "$PID"
+rc=0
+wait "$PID" || rc=$?
+trap - EXIT
+[ "$rc" -eq 0 ] || fail "server exited $rc on SIGTERM (want clean drain, 0)"
+echo "serve_smoke: graceful drain OK"
+echo "serve_smoke: PASS"
