@@ -91,7 +91,7 @@ Run 'mlbench <command> -h' for that command's flags.
 // legacy flat form, and returns a builder that assembles the spec after
 // parsing.
 func specFlags(fs *flag.FlagSet) func() core.RunSpec {
-	figure := fs.String("figure", "", "figure id to run (fig1a..fig6 from the paper; fig7, fig7b, fig7c measure failure recovery); empty = all")
+	figure := fs.String("figure", "", "figure id to run (fig1a..fig6 from the paper; fig7, fig7b, fig7c measure failure recovery; fig-ps adds the parameter-server engine head-to-head); empty = all")
 	row := fs.String("row", "", "with -col, narrow the run to a single table cell (row label)")
 	col := fs.String("col", "", "with -row, narrow the run to a single table cell (column label)")
 	iters := fs.Int("iters", 2, "Gibbs iterations per experiment (the paper averaged the first five)")
@@ -102,11 +102,13 @@ func specFlags(fs *flag.FlagSet) func() core.RunSpec {
 	traceOut := fs.String("traceout", "", "write the structured run trace as Chrome trace-event JSON to this file (chrome://tracing / Perfetto)")
 	traceCSV := fs.String("tracecsv", "", "write the structured run trace as CSV to this file")
 	metrics := fs.Bool("metrics", false, "print the per-engine/cell/phase metrics registry after the tables")
-	failures := fs.Int("failures", 0, "machine crashes to inject into every cell (deterministic from -seed)")
+	failures := fs.Int("failures", 0, "machine crashes to inject into every cell (deterministic from -seed); each engine recovers its own way: MR task retry, Spark lineage recompute, Giraph checkpoint rollback, GraphLab snapshot restore, parameter-server shard re-replication from the hot standby")
 	failAt := fs.Float64("failat", 0.5, "iteration offset of the first crash (0.5 = mid-first-iteration)")
 	straggle := fs.Float64("straggle", 0, "slow one machine by this factor for the whole run (>1 to enable)")
 	ckpt := fs.Int("ckpt", 0, "Giraph checkpoint interval in supersteps (0 = default 3 under faults, <0 = off)")
 	snap := fs.Int("snap", 0, "GraphLab snapshot interval in rounds (0 = default 3 under faults, <0 = off)")
+	shards := fs.Int("shards", 0, "parameter-server shard count for fig-ps (0 = one shard per machine)")
+	staleness := fs.Int("staleness", 0, "parameter-server staleness bound s for fig-ps (0 = synchronous, BSP-equivalent cycles)")
 	return func() core.RunSpec {
 		return core.RunSpec{
 			Figure:     *figure,
@@ -116,6 +118,8 @@ func specFlags(fs *flag.FlagSet) func() core.RunSpec {
 			ScaleDiv:   *scaleDiv,
 			Seed:       *seed,
 			Workers:    *workers,
+			Shards:     *shards,
+			Staleness:  *staleness,
 			Faults: core.FaultConfig{Failures: *failures, FailAt: *failAt, Straggle: *straggle,
 				BSPCheckpointEvery: *ckpt, GASSnapshotEvery: *snap},
 			Trace: core.TraceSpec{Phases: *tracef, Out: *traceOut, CSV: *traceCSV, Metrics: *metrics},

@@ -1,9 +1,11 @@
 package bench
 
 import (
+	"math"
 	"testing"
 
 	"mlbench/internal/models/diag"
+	"mlbench/internal/psengine"
 	"mlbench/internal/sim"
 	"mlbench/internal/tasks/gmmtask"
 	"mlbench/internal/tasks/lassotask"
@@ -69,6 +71,7 @@ func TestCrossEngineGMMEquivalence(t *testing.T) {
 		{"simsql", func(cl *sim.Cluster) (*task.Result, error) { return gmmtask.RunSimSQL(cl, cfg) }},
 		{"graphlab", func(cl *sim.Cluster) (*task.Result, error) { return gmmtask.RunGraphLab(cl, cfg) }},
 		{"giraph", func(cl *sim.Cluster) (*task.Result, error) { return gmmtask.RunGiraph(cl, cfg) }},
+		{"ps", func(cl *sim.Cluster) (*task.Result, error) { return gmmtask.RunPS(cl, cfg, psengine.Config{}) }},
 	}
 	chains := collectChains(t, 2, 1000, cfg.Iterations, burn, thin, 3, runs)
 	rhat, err := diag.RHat(chains)
@@ -90,6 +93,7 @@ func TestCrossEngineLassoEquivalence(t *testing.T) {
 		{"simsql", func(cl *sim.Cluster) (*task.Result, error) { return lassotask.RunSimSQL(cl, cfg) }},
 		{"graphlab", func(cl *sim.Cluster) (*task.Result, error) { return lassotask.RunGraphLab(cl, cfg) }},
 		{"giraph", func(cl *sim.Cluster) (*task.Result, error) { return lassotask.RunGiraph(cl, cfg) }},
+		{"ps", func(cl *sim.Cluster) (*task.Result, error) { return lassotask.RunPS(cl, cfg, psengine.Config{}) }},
 	}
 	chains := collectChains(t, 2, 100, cfg.Iterations, burn, thin, 3, runs)
 	rhat, err := diag.RHat(chains)
@@ -98,5 +102,116 @@ func TestCrossEngineLassoEquivalence(t *testing.T) {
 	}
 	if rhat > 1.1 {
 		t.Errorf("Lasso recovery-error chains disagree across engines: R-hat = %.4f, want < 1.1", rhat)
+	}
+}
+
+// TestPSStalenessSweep certifies the parameter-server engine's staleness
+// knob end to end: at s=0 the cycles are synchronous and the GMM chain is
+// bit-identical to Giraph's (the strongest possible equivalence — same
+// RNG stream, same fold order, same floats); at s>=1 workers compute
+// against genuinely stale snapshots so the chain must diverge from the
+// synchronous one; at s=1 the stale sampler still targets the same
+// posterior (R-hat against the synchronous chain under the battery's 1.1
+// bar); and as s grows R-hat degrades gracefully — monotonically and
+// bounded, not a cliff. The sweep is fully deterministic (fixed seeds,
+// deterministic simulation), so the measured ordering is stable.
+func TestPSStalenessSweep(t *testing.T) {
+	cfg := gmmtask.Config{K: 2, D: 2, PointsPerMachine: 100_000, Iterations: 100, Seed: 99}
+	const burn, thin = 31, 2
+	runPS := func(s int) []float64 {
+		cl := equivCluster(2, 1000)
+		res, err := gmmtask.RunPS(cl, cfg, psengine.Config{Staleness: s})
+		if err != nil {
+			t.Fatalf("ps s=%d: %v", s, err)
+		}
+		return res.Chain
+	}
+	cl := equivCluster(2, 1000)
+	gres, err := gmmtask.RunGiraph(cl, cfg)
+	if err != nil {
+		t.Fatalf("giraph: %v", err)
+	}
+	giraph := gres.Chain
+
+	// s=0: BSP degeneration, bit-identical to the Giraph chain.
+	ps0 := runPS(0)
+	if len(ps0) != len(giraph) {
+		t.Fatalf("s=0 chain length %d, want %d", len(ps0), len(giraph))
+	}
+	for i := range ps0 {
+		if math.Float64bits(ps0[i]) != math.Float64bits(giraph[i]) {
+			t.Fatalf("s=0 chain diverges from Giraph at iteration %d: %v vs %v", i, ps0[i], giraph[i])
+		}
+	}
+
+	thinned := func(chain []float64) []float64 {
+		var out []float64
+		for i := burn; i < len(chain); i += thin {
+			out = append(out, chain[i])
+		}
+		return out
+	}
+	sweep := []int{1, 2, 4}
+	rhats := make([]float64, len(sweep))
+	for i, s := range sweep {
+		ps := runPS(s)
+		same := true
+		for j := range ps {
+			if math.Float64bits(ps[j]) != math.Float64bits(giraph[j]) {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Errorf("s=%d chain is identical to the synchronous one — staleness had no effect", s)
+		}
+		rhat, err := diag.RHat([][]float64{thinned(giraph), thinned(ps)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("staleness %d: R-hat vs synchronous = %.4f", s, rhat)
+		rhats[i] = rhat
+	}
+	// A small bound keeps the sampler inside the battery's bar...
+	if rhats[0] > 1.1 {
+		t.Errorf("s=1 chain left the posterior: R-hat = %.4f, want < 1.1", rhats[0])
+	}
+	// ...larger bounds degrade monotonically (staleness has a measurable,
+	// ordered cost)...
+	for i := 1; i < len(rhats); i++ {
+		if rhats[i] < rhats[i-1] {
+			t.Errorf("R-hat not monotone in staleness: s=%d gives %.4f < s=%d's %.4f",
+				sweep[i], rhats[i], sweep[i-1], rhats[i-1])
+		}
+	}
+	// ...and even s=4 stays bounded rather than falling off a cliff.
+	if rhats[len(rhats)-1] > 2 {
+		t.Errorf("s=%d degradation is a cliff: R-hat = %.4f, want < 2", sweep[len(sweep)-1], rhats[len(rhats)-1])
+	}
+}
+
+// TestPSLassoSyncMatchesGiraph: the s=0 degeneration holds for the Lasso
+// sampler too — the parameter-server chain is bit-identical to Giraph's
+// per-point formulation.
+func TestPSLassoSyncMatchesGiraph(t *testing.T) {
+	cfg := lassotask.Config{P: 30, PointsPerMachine: 50_000, Iterations: 40, Lambda: 1, Seed: 7}
+	cl := equivCluster(2, 100)
+	gres, err := lassotask.RunGiraph(cl, cfg)
+	if err != nil {
+		t.Fatalf("giraph: %v", err)
+	}
+	cl = equivCluster(2, 100)
+	pres, err := lassotask.RunPS(cl, cfg, psengine.Config{})
+	if err != nil {
+		t.Fatalf("ps: %v", err)
+	}
+	if len(pres.Chain) != len(gres.Chain) {
+		t.Fatalf("chain length %d, want %d", len(pres.Chain), len(gres.Chain))
+	}
+	for i := range pres.Chain {
+		if math.Float64bits(pres.Chain[i]) != math.Float64bits(gres.Chain[i]) {
+			t.Fatalf("s=0 Lasso chain diverges from Giraph at iteration %d: %v vs %v",
+				i, pres.Chain[i], gres.Chain[i])
+		}
 	}
 }

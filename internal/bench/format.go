@@ -97,10 +97,15 @@ func (c Cell) Agrees(factor float64) bool {
 	if c.Skipped || c.PaperNA {
 		return true
 	}
+	if !c.PaperFail && c.PaperIterSec <= 0 {
+		// No paper reference at all (the fig7 family, fig-ps): nothing to
+		// disagree with, whatever the measured outcome.
+		return true
+	}
 	if c.Failed || c.PaperFail {
 		return c.Failed == c.PaperFail
 	}
-	if c.PaperIterSec <= 0 || c.IterSec <= 0 {
+	if c.IterSec <= 0 {
 		return true
 	}
 	r := c.IterSec / c.PaperIterSec

@@ -29,18 +29,22 @@ var implFiles = []struct {
 	{"GMM", "SimSQL", "gmmtask/simsql.go"},
 	{"GMM", "GraphLab", "gmmtask/graphlab.go"},
 	{"GMM", "Giraph", "gmmtask/giraph.go"},
+	{"GMM", "Param Server", "gmmtask/psengine.go"},
 	{"Lasso", "Spark", "lassotask/spark.go"},
 	{"Lasso", "SimSQL", "lassotask/simsql.go"},
 	{"Lasso", "GraphLab", "lassotask/graphlab.go"},
 	{"Lasso", "Giraph", "lassotask/giraph.go"},
+	{"Lasso", "Param Server", "lassotask/psengine.go"},
 	{"HMM", "Spark", "hmmtask/spark.go"},
 	{"HMM", "SimSQL", "hmmtask/simsql.go"},
 	{"HMM", "GraphLab", "hmmtask/graphlab.go"},
 	{"HMM", "Giraph", "hmmtask/giraph.go"},
+	{"HMM", "Param Server", "hmmtask/psengine.go"},
 	{"LDA", "Spark", "ldatask/spark.go"},
 	{"LDA", "SimSQL", "ldatask/simsql.go"},
 	{"LDA", "GraphLab", "ldatask/graphlab.go"},
 	{"LDA", "Giraph", "ldatask/giraph.go"},
+	{"LDA", "Param Server", "ldatask/psengine.go"},
 	{"Imputation", "Spark", "imputetask/spark.go"},
 	{"Imputation", "SimSQL", "imputetask/simsql.go"},
 	{"Imputation", "Graph engines", "imputetask/graphs.go"},

@@ -49,6 +49,13 @@ type Options struct {
 	// "-failures"/"-failat"/"-straggle" CLI flags). Individual figures may
 	// override it per cell — the recovery figures (fig7 family) do.
 	Faults FaultConfig
+	// PSShards is the parameter-server shard count for fig-ps (the
+	// "-shards" CLI flag); 0 means one shard per machine.
+	PSShards int
+	// PSStaleness is the parameter-server staleness bound s for fig-ps
+	// (the "-staleness" CLI flag); 0 runs synchronous, BSP-equivalent
+	// cycles.
+	PSStaleness int
 	// HostWorkers bounds the host goroutines executing simulated machines
 	// concurrently (the "-workers" CLI flag): 0 uses GOMAXPROCS, 1 runs
 	// sequentially. Virtual-clock results are identical for any value.
@@ -310,6 +317,7 @@ func Figures(o Options) []*Figure {
 		fig5(o),
 		fig6(o),
 		fig7(o), fig7b(o), fig7c(o),
+		figPS(o),
 	}
 }
 

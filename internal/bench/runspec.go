@@ -38,6 +38,13 @@ type RunSpec struct {
 	// Workers bounds host goroutines (0 = GOMAXPROCS). It cannot affect
 	// any virtual-clock result and is not part of the cache key.
 	Workers int `json:"workers,omitempty"`
+	// Shards is the parameter-server shard count used by the fig-ps rows
+	// (0 = one shard per machine). It changes the rendered table, so it
+	// participates in the cache key.
+	Shards int `json:"shards,omitempty"`
+	// Staleness is the parameter-server staleness bound s used by the
+	// fig-ps rows (0 = synchronous, BSP-equivalent cycles). Cache-keyed.
+	Staleness int `json:"staleness,omitempty"`
 	// Faults injects machine crashes and stragglers.
 	Faults FaultConfig `json:"faults"`
 	// Trace selects trace capture and export.
@@ -148,6 +155,12 @@ func (s RunSpec) Validate() error {
 	if s.Workers < 0 {
 		return fmt.Errorf("bench: workers must be >= 0, got %d", s.Workers)
 	}
+	if s.Shards < 0 {
+		return fmt.Errorf("bench: shards must be >= 0 (0 = one per machine), got %d", s.Shards)
+	}
+	if s.Staleness < 0 {
+		return fmt.Errorf("bench: staleness must be >= 0 (0 = synchronous), got %d", s.Staleness)
+	}
 	if s.Faults.Failures < 0 {
 		return fmt.Errorf("bench: failures must be >= 0, got %d", s.Faults.Failures)
 	}
@@ -175,11 +188,13 @@ type keyDoc struct {
 	Straggle     float64 `json:"straggle"`
 	Ckpt         int     `json:"ckpt"`
 	Snap         int     `json:"snap"`
+	Shards       int     `json:"shards"`
+	Staleness    int     `json:"staleness"`
 	TracePhases  bool    `json:"trace_phases"`
 	TraceMetrics bool    `json:"trace_metrics"`
 }
 
-const keyVersion = 1
+const keyVersion = 2
 
 // CacheKey returns the canonical content hash of the spec: the SHA-256 of
 // a fixed-order JSON document over the normalized result-affecting
@@ -198,6 +213,7 @@ func (s RunSpec) CacheKey() string {
 		Seed:     n.Seed,
 		Failures: n.Faults.Failures, FailAt: n.Faults.FailAt, Straggle: n.Faults.Straggle,
 		Ckpt: n.Faults.BSPCheckpointEvery, Snap: n.Faults.GASSnapshotEvery,
+		Shards: n.Shards, Staleness: n.Staleness,
 		TracePhases: n.Trace.Phases, TraceMetrics: n.Trace.Metrics,
 	}
 	data, err := json.Marshal(doc)
@@ -217,6 +233,8 @@ func (s RunSpec) Options() Options {
 		ScaleDiv:    s.ScaleDiv,
 		Seed:        s.Seed,
 		HostWorkers: s.Workers,
+		PSShards:    s.Shards,
+		PSStaleness: s.Staleness,
 		Trace:       s.Trace.Phases,
 		TraceOut:    s.Trace.Out,
 		TraceCSV:    s.Trace.CSV,

@@ -15,6 +15,7 @@ func TestRunSpecJSONRoundTrip(t *testing.T) {
 	in := RunSpec{
 		Figure: "fig2", Row: "SimSQL", Col: "20m",
 		Iterations: 3, ScaleDiv: 0.5, Seed: 7, Workers: 4,
+		Shards: 3, Staleness: 2,
 		Faults: FaultConfig{Failures: 2, FailAt: 0.25, Straggle: 4, BSPCheckpointEvery: 2, GASSnapshotEvery: -1},
 		Trace:  TraceSpec{Phases: true, Out: "t.json", CSV: "t.csv", Metrics: true},
 	}
@@ -48,13 +49,15 @@ func TestRunSpecCacheKeyGolden(t *testing.T) {
 		key  string
 	}{
 		{"zero-fig1a", RunSpec{Figure: "fig1a"},
-			"f336107eb87456a9e6a7c69370d1412a4f8b9e784afe8dc387f62a5ce7d3a183"},
+			"d19511534f041fdf77f3a54954286c23c4964afd598719f9742c87c3d750eca2"},
 		{"cell", RunSpec{Figure: "fig6", Row: "Spark (Java)", Col: "5m"},
-			"de18314b180840221ce5c4e0cb88b5d096537c1f1fc11e118baaaf62022c37ee"},
+			"76ee5957d5794bf1c29f498f401e0c280233880481fc70ccd7ad1cf549befc1c"},
 		{"faulted", RunSpec{Figure: "fig2", Faults: FaultConfig{Failures: 1}},
-			"8c3fa1583b3c32f4bbc41a6ba70659d12bd153f32126669c91309f2060d8e561"},
+			"3b0e3e9681c8fe1df1e90450bc355fa7cfd58992370dabc008524a68c8b620be"},
 		{"traced", RunSpec{Figure: "fig1a", Trace: TraceSpec{Phases: true}},
-			"a449f69f1232d76c28bb1afcef1cf4095f0536bf3b4a0d7b897ce2ea4a678df0"},
+			"ca6a162fe3c3e1a6a906fdf025370b82bce3f0ebcf22ae9bb1164f0958a1e5ff"},
+		{"ps", RunSpec{Figure: "fig-ps", Shards: 3, Staleness: 2},
+			"dfee724e0a59e704ab453ca75b9a0b763abd7c37f118d7252ec9c2b7ac927e3c"},
 	}
 	for _, g := range golden {
 		if got := g.spec.CacheKey(); got != g.key {
@@ -86,6 +89,9 @@ func TestRunSpecCacheKeyEquivalence(t *testing.T) {
 		{Figure: "fig1a", Faults: FaultConfig{Failures: 1}},
 		{Figure: "fig1a", Trace: TraceSpec{Phases: true}},
 		{Figure: "fig1a", Row: "SimSQL", Col: "10d/5m"},
+		{Figure: "fig-ps"},
+		{Figure: "fig-ps", Shards: 3},
+		{Figure: "fig-ps", Staleness: 2},
 	}
 	seen := map[string]int{base.CacheKey(): -1}
 	for i, s := range different {
@@ -118,6 +124,8 @@ func TestRunSpecValidateActionable(t *testing.T) {
 		{RunSpec{Figure: "fig2", Row: "SimSQL"}, []string{"needs both row and col"}},
 		{RunSpec{Figure: "fig2", Iterations: -1}, []string{"iterations"}},
 		{RunSpec{Figure: "fig2", Faults: FaultConfig{Straggle: 0.5}}, []string{"straggle"}},
+		{RunSpec{Figure: "fig-ps", Shards: -1}, []string{"shards"}},
+		{RunSpec{Figure: "fig-ps", Staleness: -2}, []string{"staleness"}},
 	}
 	for _, c := range cases {
 		err := c.spec.Validate()

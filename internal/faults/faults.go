@@ -10,7 +10,8 @@
 // The package intentionally knows nothing about the simulator: internal/sim
 // consumes a Schedule, and each engine implements its own paradigm-faithful
 // recovery (MR task re-execution, dataflow lineage recomputation, BSP
-// checkpoint rollback, GAS snapshot restore).
+// checkpoint rollback, GAS snapshot restore, parameter-server shard
+// re-replication from a hot standby).
 package faults
 
 import (

@@ -7,6 +7,7 @@ import (
 
 	"mlbench/internal/bench"
 	"mlbench/internal/linalg"
+	"mlbench/internal/psengine"
 	"mlbench/internal/randgen"
 	"mlbench/internal/sim"
 	"mlbench/internal/trace"
@@ -21,14 +22,16 @@ const GateScaleDiv = 0.02
 // Sink defeats dead-code elimination in the micro specs.
 var Sink float64
 
-// MicroSpecs benchmarks the four host-side hot paths the simulation's
+// MicroSpecs benchmarks the five host-side hot paths the simulation's
 // wall time is made of: the Walker/Vose alias sampler that LDA/HMM
 // resampling leans on, the Lasso Gram-matrix fold, the RunPhase barrier
-// merge that every engine phase pays, and the trace export.
+// merge that every engine phase pays, the parameter-server shard
+// aggregation fold, and the trace export.
 func MicroSpecs() []Spec {
 	return []Spec{
 		aliasDrawSpec(),
 		gramFoldSpec(),
+		psShardFoldSpec(),
 		runPhaseMergeSpec(),
 		traceExportSpec(),
 	}
@@ -79,6 +82,31 @@ func gramFoldSpec() Spec {
 				}
 			}
 			Sink += xty[0]
+			return nil
+		},
+	}
+}
+
+// psShardFoldSpec: one op = folding one 4096-element worker delta into a
+// server shard's accumulator — the inner loop of every parameter-server
+// barrier merge (LDA topic-word counts, HMM transition/emission counts).
+func psShardFoldSpec() Spec {
+	const dim = 4096
+	rng := randgen.New(13)
+	dst := make([]float64, dim)
+	delta := make([]float64, dim)
+	for i := range delta {
+		delta[i] = rng.Float64()
+	}
+	return Spec{
+		Name:   "micro:ps-shard-fold",
+		N:      50_000,
+		Warmup: 1,
+		Run: func(n int) error {
+			for i := 0; i < n; i++ {
+				psengine.FoldDense(dst, delta)
+			}
+			Sink += dst[0]
 			return nil
 		},
 	}

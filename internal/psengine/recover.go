@@ -1,0 +1,46 @@
+package psengine
+
+import (
+	"mlbench/internal/sim"
+)
+
+// Fault recovery, the parameter-server way: the model survives a machine
+// crash because every shard's aggregated state is continuously replicated
+// to a hot standby, so there is no global rollback and no replay of past
+// cycles. Recovery is three local repairs:
+//
+//  1. every shard whose primary died is re-replicated — the standby
+//     promotes its copy and streams the range to the replacement machine
+//     (one read + one write of the shard, so a fresh standby exists again);
+//  2. the replacement worker re-pulls the full model into its cold cache;
+//  3. the victim's in-flight delta is simply lost — asynchronous pushes
+//     are not transactional — so the worker redoes the lost compute.
+//
+// Contrast with BSP (global checkpoint rollback), GraphLab (snapshot
+// restore + replay) and MR/Spark (task retry / lineage recompute):
+// recovery cost here is independent of how long the job has run.
+
+// recover is the engine's sim.FaultHandler.
+func (e *Engine) recover(f sim.FaultInfo) error {
+	victim := f.Event.Machine
+	cl := e.cl
+	net := cl.Config().Net
+	shardBytes := float64(e.modelBytes) / float64(e.cfg.Shards)
+
+	if n := e.shardsOn(victim); n > 0 && e.modelBytes > 0 {
+		// Promote the standby and stream each lost range twice: once onto
+		// the replacement primary, once to establish a fresh standby.
+		cl.AdvanceNamed("ps-shard-rereplicate",
+			net.LatencySec+2*float64(n)*shardBytes/net.BytesPerSec)
+	}
+	if e.modelBytes > 0 {
+		// The replacement worker's cache starts cold: one full pull.
+		cl.AdvanceNamed("ps-worker-repull",
+			net.LatencySec+float64(e.modelBytes)/net.BytesPerSec)
+	}
+	if f.LostSec > 0 {
+		// In-flight deltas died with the worker; redo the lost compute.
+		cl.AdvanceNamed("ps-redo-lost-work", f.LostSec)
+	}
+	return nil
+}

@@ -82,6 +82,20 @@ type CostModel struct {
 	// machine's subgraph replays (no global rollback) while its peers'
 	// state stays live, and replayed gathers find warm ghost caches.
 	GASReplayFrac float64
+	// PSCycleSyncSec is the coordination cost of one parameter-server
+	// cycle when the staleness bound is 0: every worker blocks until the
+	// servers publish the freshest model, a BSP-like round trip.
+	PSCycleSyncSec float64
+	// PSCycleAsyncSec is the per-cycle coordination cost with a positive
+	// staleness bound: workers proceed against cached state and only the
+	// push pipeline needs scheduling, so the barrier is much cheaper than
+	// a BSP superstep. The gap between these two constants is the
+	// headline argument for the parameter-server architecture.
+	PSCycleAsyncSec float64
+	// PSServerBytesPerSec is the single-threaded rate at which one server
+	// shard folds incoming worker deltas into its parameter range (dense
+	// accumulation plus request dispatch), charged serially per shard.
+	PSServerBytesPerSec float64
 	// BSPInflightHalfM controls how much of a superstep's per-vertex
 	// message traffic is resident in receiver heaps simultaneously:
 	// fraction = M / (M + BSPInflightHalfM) for an M-machine cluster.
@@ -116,6 +130,9 @@ func DefaultCostModel() CostModel {
 		MRSpecExecCap:        2,
 		GASSnapshotAsyncFrac: 0.25,
 		GASReplayFrac:        0.6,
+		PSCycleSyncSec:       1.0,
+		PSCycleAsyncSec:      0.12,
+		PSServerBytesPerSec:  40e6,
 	}
 }
 

@@ -1,5 +1,5 @@
 // Package sim provides the simulated compute-cluster substrate on which the
-// four platform engines (dataflow, relational, gas, bsp) execute.
+// five platform engines (dataflow, relational, gas, bsp, psengine) execute.
 //
 // The paper's experiments ran on Amazon EC2 m2.4xlarge clusters (8 virtual
 // cores, 68 GB RAM per machine) of 5, 20 and 100 machines — hardware we do

@@ -1,7 +1,7 @@
 // Package gmmtask implements the paper's Section 5 benchmark task — the
-// Gaussian mixture model Gibbs sampler — on all four platform engines,
+// Gaussian mixture model Gibbs sampler — on all five platform engines,
 // in both the "initial" per-point formulations and the super-vertex
-// formulations of Figure 1.
+// formulations of Figure 1, plus the parameter-server port of fig-ps.
 package gmmtask
 
 import (

@@ -1,9 +1,9 @@
 // Package hmmtask implements the paper's Section 7 benchmark task — the
-// text HMM Gibbs sampler — on all four platform engines, at the three
+// text HMM Gibbs sampler — on all five platform engines, at the three
 // granularities of Figure 3: word-based (every word and hidden state is
 // an element the platform manages), document-based (a document's states
 // are resampled as a group in user code), and super-vertex (documents are
-// blocked per machine).
+// blocked per machine), plus the parameter-server port of fig-ps.
 package hmmtask
 
 import (

@@ -1,5 +1,5 @@
 // Package lassotask implements the paper's Section 6 benchmark task —
-// the Bayesian Lasso Gibbs sampler — on all four platform engines. The
+// the Bayesian Lasso Gibbs sampler — on all five platform engines. The
 // interesting structure is in the initialization: the Gram matrix X^T X
 // must be computed over the whole data set, which takes hours on SimSQL
 // (an aggregate-GROUP BY with one group per matrix entry) and on Spark

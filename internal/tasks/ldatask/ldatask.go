@@ -1,7 +1,8 @@
 // Package ldatask implements the paper's Section 8 benchmark task — the
-// NON-collapsed latent Dirichlet allocation Gibbs sampler — on all four
+// NON-collapsed latent Dirichlet allocation Gibbs sampler — on all five
 // platform engines, in the word-based, document-based and super-vertex
-// granularities of Figure 4, plus the Spark-Java variant of Figure 6.
+// granularities of Figure 4, plus the Spark-Java variant of Figure 6 and
+// the parameter-server port of fig-ps.
 //
 // The simulation closely resembles the HMM one, but the model that must
 // be learned (100 topics x 10,000 words) is about five times larger,

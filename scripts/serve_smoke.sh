@@ -45,6 +45,26 @@ done
 [ "$state" = "done" ] || fail "run $id did not finish (state: $state)"
 echo "serve_smoke: $id done"
 
+# 1b. One parameter-server cell: the fifth engine must run end to end
+# through the service and render into the fig-ps head-to-head table.
+PS_SPEC='{"figure":"fig-ps","row":"Param Server","col":"GMM 10d","iters":1,"scalediv":0.02,"staleness":1}'
+resp=$(curl -sf -X POST "$BASE/v1/runs" -d "$PS_SPEC") || fail "fig-ps submit rejected: $resp"
+psid=$(echo "$resp" | jfield id)
+[ -n "$psid" ] || fail "no run id in: $resp"
+state=""
+for _ in $(seq 1 600); do
+  state=$(curl -sf "$BASE/v1/runs/$psid" | jfield state)
+  case "$state" in
+    done) break ;;
+    failed|canceled) fail "run $psid ended $state" ;;
+  esac
+  sleep 0.5
+done
+[ "$state" = "done" ] || fail "fig-ps run $psid did not finish (state: $state)"
+pstable=$(curl -sf "$BASE/v1/runs/$psid/table") || fail "fig-ps table download failed"
+[[ "$pstable" == *"Param Server"* ]] || fail "fig-ps table missing Param Server row: $pstable"
+echo "serve_smoke: fig-ps cell OK"
+
 # 2. The identical spec must be a cache hit answered in <100ms.
 t0=$(date +%s%N)
 resp2=$(curl -sf -X POST "$BASE/v1/runs" -d "$SPEC")
