@@ -107,6 +107,7 @@ func specFlags(fs *flag.FlagSet) func() core.RunSpec {
 	straggle := fs.Float64("straggle", 0, "slow one machine by this factor for the whole run (>1 to enable)")
 	ckpt := fs.Int("ckpt", 0, "Giraph checkpoint interval in supersteps (0 = default 3 under faults, <0 = off)")
 	snap := fs.Int("snap", 0, "GraphLab snapshot interval in rounds (0 = default 3 under faults, <0 = off)")
+	sampler := fs.String("sampler", "", "LDA/HMM token sampler tier: dense (default, the historical O(T) scan), alias (exact per-token alias draw), or mhalias (cached Metropolis-Hastings alias kernel, LightLDA-style)")
 	shards := fs.Int("shards", 0, "parameter-server shard count for fig-ps (0 = one shard per machine)")
 	staleness := fs.Int("staleness", 0, "parameter-server staleness bound s for fig-ps (0 = synchronous, BSP-equivalent cycles)")
 	return func() core.RunSpec {
@@ -118,6 +119,7 @@ func specFlags(fs *flag.FlagSet) func() core.RunSpec {
 			ScaleDiv:   *scaleDiv,
 			Seed:       *seed,
 			Workers:    *workers,
+			Sampler:    *sampler,
 			Shards:     *shards,
 			Staleness:  *staleness,
 			Faults: core.FaultConfig{Failures: *failures, FailAt: *failAt, Straggle: *straggle,

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"mlbench/internal/faults"
+	"mlbench/internal/randgen"
 	"mlbench/internal/sim"
 	"mlbench/internal/tasks/gmmtask"
 	"mlbench/internal/tasks/hmmtask"
@@ -56,6 +57,12 @@ type Options struct {
 	// (the "-staleness" CLI flag); 0 runs synchronous, BSP-equivalent
 	// cycles.
 	PSStaleness int
+	// Sampler is the LDA/HMM token hot-path tier (the "-sampler" CLI
+	// flag): the dense scan (default, byte-identical to the historical
+	// sampler), the per-element exact alias draw, or the cached
+	// Metropolis-Hastings kernel. It changes every sampled stream, so it
+	// is part of the run identity (RunSpec cache key).
+	Sampler randgen.SamplerTier
 	// HostWorkers bounds the host goroutines executing simulated machines
 	// concurrently (the "-workers" CLI flag): 0 uses GOMAXPROCS, 1 runs
 	// sequentially. Virtual-clock results are identical for any value.
@@ -489,7 +496,7 @@ func fig2(o Options) *Figure {
 // --- HMM (Figure 3) ---
 
 func hmmCfg(o Options) hmmtask.Config {
-	return hmmtask.Config{K: 20, V: 10_000, DocsPerMachine: 2_500_000, AvgDocLen: 210, Iterations: o.Iterations}
+	return hmmtask.Config{K: 20, V: 10_000, DocsPerMachine: 2_500_000, AvgDocLen: 210, Iterations: o.Iterations, Sampler: o.Sampler}
 }
 
 const hmmScale = 25_000 // 100 real documents per machine
@@ -556,7 +563,7 @@ type runVariantFn = runFn
 // --- LDA (Figure 4) ---
 
 func ldaCfg(o Options) ldatask.Config {
-	return ldatask.Config{T: 100, V: 10_000, DocsPerMachine: 2_500_000, AvgDocLen: 210, Iterations: o.Iterations}
+	return ldatask.Config{T: 100, V: 10_000, DocsPerMachine: 2_500_000, AvgDocLen: 210, Iterations: o.Iterations, Sampler: o.Sampler}
 }
 
 const ldaScale = 25_000

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"strings"
 
+	"mlbench/internal/randgen"
 	"mlbench/internal/trace"
 )
 
@@ -45,6 +46,11 @@ type RunSpec struct {
 	// Staleness is the parameter-server staleness bound s used by the
 	// fig-ps rows (0 = synchronous, BSP-equivalent cycles). Cache-keyed.
 	Staleness int `json:"staleness,omitempty"`
+	// Sampler is the LDA/HMM token hot-path tier: "dense" (default,
+	// byte-identical to the historical O(T) scan), "alias" (exact
+	// per-element alias draw), or "mhalias" (cached Metropolis-Hastings).
+	// It changes every sampled stream, so it is cache-keyed.
+	Sampler string `json:"sampler,omitempty"`
 	// Faults injects machine crashes and stragglers.
 	Faults FaultConfig `json:"faults"`
 	// Trace selects trace capture and export.
@@ -92,6 +98,9 @@ func (s RunSpec) Normalize() RunSpec {
 	}
 	if s.Seed == 0 {
 		s.Seed = 1
+	}
+	if s.Sampler == "" {
+		s.Sampler = randgen.TierDense.String()
 	}
 	if s.Faults.Active() {
 		s.Faults = s.Faults.withFaultDefaults()
@@ -161,6 +170,9 @@ func (s RunSpec) Validate() error {
 	if s.Staleness < 0 {
 		return fmt.Errorf("bench: staleness must be >= 0 (0 = synchronous), got %d", s.Staleness)
 	}
+	if _, err := randgen.ParseSamplerTier(s.Sampler); err != nil {
+		return fmt.Errorf("bench: %w", err)
+	}
 	if s.Faults.Failures < 0 {
 		return fmt.Errorf("bench: failures must be >= 0, got %d", s.Faults.Failures)
 	}
@@ -190,11 +202,12 @@ type keyDoc struct {
 	Snap         int     `json:"snap"`
 	Shards       int     `json:"shards"`
 	Staleness    int     `json:"staleness"`
+	Sampler      string  `json:"sampler"`
 	TracePhases  bool    `json:"trace_phases"`
 	TraceMetrics bool    `json:"trace_metrics"`
 }
 
-const keyVersion = 2
+const keyVersion = 3
 
 // CacheKey returns the canonical content hash of the spec: the SHA-256 of
 // a fixed-order JSON document over the normalized result-affecting
@@ -213,7 +226,7 @@ func (s RunSpec) CacheKey() string {
 		Seed:     n.Seed,
 		Failures: n.Faults.Failures, FailAt: n.Faults.FailAt, Straggle: n.Faults.Straggle,
 		Ckpt: n.Faults.BSPCheckpointEvery, Snap: n.Faults.GASSnapshotEvery,
-		Shards: n.Shards, Staleness: n.Staleness,
+		Shards: n.Shards, Staleness: n.Staleness, Sampler: n.Sampler,
 		TracePhases: n.Trace.Phases, TraceMetrics: n.Trace.Metrics,
 	}
 	data, err := json.Marshal(doc)
@@ -226,8 +239,11 @@ func (s RunSpec) CacheKey() string {
 
 // Options translates the spec into harness options. Runtime wiring
 // (context, recorder, progress sink) is attached by ExecuteSpec — it is
-// not part of the serializable spec.
+// not part of the serializable spec. The sampler string has passed
+// Validate by the time Options runs, so the parse cannot fail; a zero
+// tier falls out of the empty string either way.
 func (s RunSpec) Options() Options {
+	tier, _ := randgen.ParseSamplerTier(s.Sampler)
 	return Options{
 		Iterations:  s.Iterations,
 		ScaleDiv:    s.ScaleDiv,
@@ -235,6 +251,7 @@ func (s RunSpec) Options() Options {
 		HostWorkers: s.Workers,
 		PSShards:    s.Shards,
 		PSStaleness: s.Staleness,
+		Sampler:     tier,
 		Trace:       s.Trace.Phases,
 		TraceOut:    s.Trace.Out,
 		TraceCSV:    s.Trace.CSV,

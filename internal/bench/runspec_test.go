@@ -15,7 +15,7 @@ func TestRunSpecJSONRoundTrip(t *testing.T) {
 	in := RunSpec{
 		Figure: "fig2", Row: "SimSQL", Col: "20m",
 		Iterations: 3, ScaleDiv: 0.5, Seed: 7, Workers: 4,
-		Shards: 3, Staleness: 2,
+		Shards: 3, Staleness: 2, Sampler: "mhalias",
 		Faults: FaultConfig{Failures: 2, FailAt: 0.25, Straggle: 4, BSPCheckpointEvery: 2, GASSnapshotEvery: -1},
 		Trace:  TraceSpec{Phases: true, Out: "t.json", CSV: "t.csv", Metrics: true},
 	}
@@ -49,15 +49,17 @@ func TestRunSpecCacheKeyGolden(t *testing.T) {
 		key  string
 	}{
 		{"zero-fig1a", RunSpec{Figure: "fig1a"},
-			"d19511534f041fdf77f3a54954286c23c4964afd598719f9742c87c3d750eca2"},
+			"3652edd7cf9e1bba5c76b67ce1f43e43ad22a014a3c817711f418e04c8516f0a"},
 		{"cell", RunSpec{Figure: "fig6", Row: "Spark (Java)", Col: "5m"},
-			"76ee5957d5794bf1c29f498f401e0c280233880481fc70ccd7ad1cf549befc1c"},
+			"9049c657686ba4073f918b0887716105d58b8e049cb5cb0e70747e9d4f737692"},
 		{"faulted", RunSpec{Figure: "fig2", Faults: FaultConfig{Failures: 1}},
-			"3b0e3e9681c8fe1df1e90450bc355fa7cfd58992370dabc008524a68c8b620be"},
+			"116798b7575bd6c418af8ec0543747b488c26ea979b074abfbb1b91b60ed73ba"},
 		{"traced", RunSpec{Figure: "fig1a", Trace: TraceSpec{Phases: true}},
-			"ca6a162fe3c3e1a6a906fdf025370b82bce3f0ebcf22ae9bb1164f0958a1e5ff"},
+			"90f4e3e8987cde0a882457cfe30c506b3dea69932ada911fba2c54ffcc7c5d69"},
 		{"ps", RunSpec{Figure: "fig-ps", Shards: 3, Staleness: 2},
-			"dfee724e0a59e704ab453ca75b9a0b763abd7c37f118d7252ec9c2b7ac927e3c"},
+			"c8e0fdc5e192fce4ce4fd0edaf4ccbb20c587f2ebeb123f5b37158eb120b4190"},
+		{"mhalias-cell", RunSpec{Figure: "fig4b", Row: "Giraph", Col: "5m", Sampler: "mhalias"},
+			"210e66597a9b36c3859358c5a50795547d6d7b65ee856273d9e977edec2d3eb0"},
 	}
 	for _, g := range golden {
 		if got := g.spec.CacheKey(); got != g.key {
@@ -75,6 +77,7 @@ func TestRunSpecCacheKeyEquivalence(t *testing.T) {
 		{Figure: "fig1a", Iterations: 2, ScaleDiv: 1, Seed: 1},
 		{Figure: "fig1a", Workers: 8},
 		{Figure: "fig1a", Trace: TraceSpec{Out: "a.json", CSV: "b.csv"}},
+		{Figure: "fig1a", Sampler: "dense"},
 	}
 	for i, s := range same {
 		if s.CacheKey() != base.CacheKey() {
@@ -92,6 +95,8 @@ func TestRunSpecCacheKeyEquivalence(t *testing.T) {
 		{Figure: "fig-ps"},
 		{Figure: "fig-ps", Shards: 3},
 		{Figure: "fig-ps", Staleness: 2},
+		{Figure: "fig1a", Sampler: "alias"},
+		{Figure: "fig1a", Sampler: "mhalias"},
 	}
 	seen := map[string]int{base.CacheKey(): -1}
 	for i, s := range different {
@@ -126,6 +131,7 @@ func TestRunSpecValidateActionable(t *testing.T) {
 		{RunSpec{Figure: "fig2", Faults: FaultConfig{Straggle: 0.5}}, []string{"straggle"}},
 		{RunSpec{Figure: "fig-ps", Shards: -1}, []string{"shards"}},
 		{RunSpec{Figure: "fig-ps", Staleness: -2}, []string{"staleness"}},
+		{RunSpec{Figure: "fig4b", Sampler: "turbo"}, []string{`sampler tier "turbo"`, "dense", "mhalias"}},
 	}
 	for _, c := range cases {
 		err := c.spec.Validate()
@@ -167,6 +173,37 @@ func TestExecuteSpecCellMatchesFigureRun(t *testing.T) {
 	}
 	if res.Table.Render() != res2.Table.Render() {
 		t.Error("rendered table differs between worker counts")
+	}
+}
+
+// An mhalias cell must be byte-identical across worker counts too: the
+// cached-proposal tier rebuilds its alias tables only at serial points,
+// so the host-side parallelism knob must not perturb the sampled stream.
+func TestExecuteSpecMHAliasWorkerIdentity(t *testing.T) {
+	spec := RunSpec{Figure: "fig4b", Row: "Giraph", Col: "5m",
+		Iterations: 1, ScaleDiv: 0.02, Seed: 3, Sampler: "mhalias", Workers: 8}
+	res, err := ExecuteSpec(context.Background(), spec, ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec2 := spec
+	spec2.Workers = 1
+	res2, err := ExecuteSpec(context.Background(), spec2, ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Table.Render() != res2.Table.Render() {
+		t.Error("mhalias cell differs between 8 and 1 workers")
+	}
+	// And the tier must actually change the result relative to dense.
+	dense := spec
+	dense.Sampler = "dense"
+	res3, err := ExecuteSpec(context.Background(), dense, ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Table.Cells["Giraph"]["5m"].String() == res3.Table.Cells["Giraph"]["5m"].String() {
+		t.Error("mhalias cell identical to dense; the tier did not reach the task")
 	}
 }
 

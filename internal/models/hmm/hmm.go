@@ -29,6 +29,31 @@ type Model struct {
 	Delta0 linalg.Vec   // start-state distribution
 	Delta  []linalg.Vec // K x K transitions
 	Psi    []linalg.Vec // K x V emissions
+
+	// alpha/beta are UpdateModel's reusable posterior-parameter scratch.
+	// UpdateModel only runs at serial points (driver sections,
+	// parameter-server Apply), so Model-level scratch is safe; the
+	// concurrent resampling path uses caller-owned Scratch instead.
+	alpha, beta []float64
+	// props is the mhalias tier's cached proposal structure; built at
+	// serial points via RefreshProposals, read-only while resampling.
+	props *hmmProposals
+}
+
+// Scratch is a reusable weight buffer for the state-resampling hot path.
+// Each concurrent caller (vertex, machine partition) owns its own
+// Scratch, because the Model itself is shared across host goroutines
+// during supersteps. The zero value is ready to use.
+type Scratch struct {
+	w []float64
+}
+
+// weights returns the scratch buffer sized for k states.
+func (sc *Scratch) weights(k int) []float64 {
+	if cap(sc.w) < k {
+		sc.w = make([]float64, k)
+	}
+	return sc.w[:k]
 }
 
 // Bytes returns the simulated size of the model state.
@@ -70,8 +95,15 @@ func InitStates(rng *randgen.RNG, words []int, k int) []int {
 // iteration iter, touching position k (1-based) only when k and iter have
 // the same parity — the paper's alternating scheme. states is mutated.
 func (m *Model) ResampleStates(rng *randgen.RNG, words, states []int, iter int) {
+	var sc Scratch
+	m.ResampleStatesScratch(rng, words, states, iter, &sc)
+}
+
+// ResampleStatesScratch is ResampleStates with a caller-owned weight
+// buffer, for hot paths that resample many documents.
+func (m *Model) ResampleStatesScratch(rng *randgen.RNG, words, states []int, iter int, sc *Scratch) {
 	n := len(words)
-	w := make([]float64, m.K)
+	w := sc.weights(m.K)
 	for pos := 0; pos < n; pos++ {
 		if (pos+1)%2 != iter%2 { // 1-based position parity must match iteration parity
 			continue
@@ -88,20 +120,8 @@ func (m *Model) ResampleStates(rng *randgen.RNG, words, states []int, iter int) 
 			}
 			w[s] = p
 		}
-		states[pos] = safeCategorical(rng, w)
+		states[pos] = rng.CategoricalSafe(w)
 	}
-}
-
-// safeCategorical falls back to uniform when all weights underflow.
-func safeCategorical(rng *randgen.RNG, w []float64) int {
-	var total float64
-	for _, x := range w {
-		total += x
-	}
-	if total <= 0 {
-		return rng.Intn(len(w))
-	}
-	return rng.Categorical(w)
 }
 
 // StateFlops approximates the floating-point work of resampling one
@@ -157,9 +177,16 @@ func (c *Counts) Bytes() int64 {
 }
 
 // UpdateModel draws the next model from the Dirichlet conditionals given
-// the aggregated counts. m is mutated.
+// the aggregated counts. m is mutated. UpdateModel runs only at serial
+// points, so it may use the Model scratch.
 func (m *Model) UpdateModel(rng *randgen.RNG, h Hyper, c *Counts) {
-	alpha := make([]float64, m.K)
+	if cap(m.alpha) < m.K {
+		m.alpha = make([]float64, m.K)
+	}
+	if cap(m.beta) < m.V {
+		m.beta = make([]float64, m.V)
+	}
+	alpha, beta := m.alpha[:m.K], m.beta[:m.V]
 	for s := range alpha {
 		alpha[s] = h.Alpha + c.Start[s]
 	}
@@ -169,7 +196,6 @@ func (m *Model) UpdateModel(rng *randgen.RNG, h Hyper, c *Counts) {
 			alpha[t] = h.Alpha + c.Trans[s][t]
 		}
 		m.Delta[s] = rng.Dirichlet(alpha)
-		beta := make([]float64, m.V)
 		for w := range beta {
 			beta[w] = h.Beta + c.Emit[s][w]
 		}

@@ -11,6 +11,7 @@ import (
 	"math"
 
 	"mlbench/internal/linalg"
+	"mlbench/internal/ordmap"
 	"mlbench/internal/randgen"
 )
 
@@ -26,6 +27,15 @@ type Hyper struct {
 type Model struct {
 	T, V int
 	Phi  []linalg.Vec // T x V
+
+	// beta is UpdatePhi's reusable posterior-parameter scratch. UpdatePhi
+	// only runs at serial points (driver sections, parameter-server
+	// Apply), so Model-level scratch is safe; the concurrent resampling
+	// path keeps its scratch on Doc instead.
+	beta []float64
+	// props is the mhalias tier's cached proposal structure; built at
+	// serial points via RefreshProposals, read-only while resampling.
+	props *proposals
 }
 
 // Bytes returns the simulated size of the topic-word matrix — the model
@@ -52,6 +62,23 @@ type Doc struct {
 	Words []int
 	Z     []int
 	Theta linalg.Vec
+
+	// w is the document's reusable weight scratch for the resampling hot
+	// path. A Doc is owned by one simulated machine, so per-Doc scratch
+	// is safe under host-parallel supersteps where the Model is shared.
+	w []float64
+	// zc holds the mhalias tier's sparse per-topic assignment counts
+	// (topic -> count, insertion-ordered for determinism); nil until the
+	// first MH resample and invalidated by the dense/alias tiers.
+	zc *ordmap.Map[int, int]
+}
+
+// weights returns the document's scratch buffer sized for t topics.
+func (d *Doc) weights(t int) []float64 {
+	if cap(d.w) < t {
+		d.w = make([]float64, t)
+	}
+	return d.w[:t]
 }
 
 // InitDoc assigns uniform random topics and a prior theta draw.
@@ -71,18 +98,13 @@ func InitDoc(rng *randgen.RNG, words []int, h Hyper) *Doc {
 // ResampleZ redraws every topic assignment in the document:
 // Pr[z = t] ∝ theta_t * phi_{t, w}.
 func (m *Model) ResampleZ(rng *randgen.RNG, d *Doc) {
-	w := make([]float64, m.T)
+	d.zc = nil
+	w := d.weights(m.T)
 	for i, word := range d.Words {
-		var total float64
 		for t := 0; t < m.T; t++ {
 			w[t] = d.Theta[t] * m.Phi[t][word]
-			total += w[t]
 		}
-		if total <= 0 {
-			d.Z[i] = rng.Intn(m.T)
-			continue
-		}
-		d.Z[i] = rng.Categorical(w)
+		d.Z[i] = rng.CategoricalSafe(w)
 	}
 }
 
@@ -98,9 +120,18 @@ func (d *Doc) TopicCounts(t int) linalg.Vec {
 	return f
 }
 
-// ResampleTheta redraws theta_j ~ Dirichlet(alpha + f(j, .)).
+// ResampleTheta redraws theta_j ~ Dirichlet(alpha + f(j, .)). The
+// posterior parameters are accumulated in the document's scratch buffer
+// in the same count-then-smooth order TopicCounts uses, so the dense
+// default stays byte-identical while avoiding the per-call allocation.
 func (d *Doc) ResampleTheta(rng *randgen.RNG, h Hyper) {
-	f := d.TopicCounts(h.T)
+	f := d.weights(h.T)
+	for t := range f {
+		f[t] = 0
+	}
+	for _, z := range d.Z {
+		f[z]++
+	}
 	for t := range f {
 		f[t] += h.Alpha
 	}
@@ -140,8 +171,12 @@ func (c *WordCounts) Merge(o *WordCounts) {
 func (c *WordCounts) Bytes() int64 { return int64(8 * c.T * c.V) }
 
 // UpdatePhi redraws each phi_t ~ Dirichlet(beta + g(t, .)). m is mutated.
+// UpdatePhi runs only at serial points, so it may use the Model scratch.
 func (m *Model) UpdatePhi(rng *randgen.RNG, h Hyper, c *WordCounts) {
-	beta := make([]float64, m.V)
+	if cap(m.beta) < m.V {
+		m.beta = make([]float64, m.V)
+	}
+	beta := m.beta[:m.V]
 	for t := 0; t < m.T; t++ {
 		for w := range beta {
 			beta[w] = h.Beta + c.G[t][w]

@@ -76,10 +76,10 @@ func TestMeasureErrors(t *testing.T) {
 }
 
 // TestMicroSpecsMeasure runs every hot-path micro spec once through the
-// harness: all five paths are present and produce positive timings.
+// harness: all paths are present and produce positive timings.
 func TestMicroSpecsMeasure(t *testing.T) {
 	specs := MicroSpecs()
-	want := []string{"micro:alias-draw-k100", "micro:gram-fold-p64", "micro:ps-shard-fold", "micro:runphase-merge-16m", "micro:trace-export"}
+	want := []string{"micro:alias-draw-k100", "micro:lda-mh-draw", "micro:hmm-mh-draw", "micro:gram-fold-p64", "micro:ps-shard-fold", "micro:runphase-merge-16m", "micro:trace-export"}
 	if len(specs) != len(want) {
 		t.Fatalf("MicroSpecs = %d specs, want %d", len(specs), len(want))
 	}
@@ -104,7 +104,7 @@ func TestCollectCells(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if f.Version != SchemaVersion || len(f.Benchmarks) != 5 {
+	if f.Version != SchemaVersion || len(f.Benchmarks) != 7 {
 		t.Fatalf("micro-only collection: version %d, %d benchmarks", f.Version, len(f.Benchmarks))
 	}
 	if f.Env.GoVersion == "" || f.Env.NumCPU <= 0 {

@@ -7,6 +7,8 @@ import (
 
 	"mlbench/internal/bench"
 	"mlbench/internal/linalg"
+	"mlbench/internal/models/hmm"
+	"mlbench/internal/models/lda"
 	"mlbench/internal/psengine"
 	"mlbench/internal/randgen"
 	"mlbench/internal/sim"
@@ -22,19 +24,95 @@ const GateScaleDiv = 0.02
 // Sink defeats dead-code elimination in the micro specs.
 var Sink float64
 
-// MicroSpecs benchmarks the five host-side hot paths the simulation's
+// MicroSpecs benchmarks the host-side hot paths the simulation's
 // wall time is made of: the Walker/Vose alias sampler that LDA/HMM
-// resampling leans on, the Lasso Gram-matrix fold, the RunPhase barrier
+// resampling leans on, the Metropolis-Hastings token kernels behind the
+// mhalias sampler tier, the Lasso Gram-matrix fold, the RunPhase barrier
 // merge that every engine phase pays, the parameter-server shard
 // aggregation fold, and the trace export.
 func MicroSpecs() []Spec {
 	return []Spec{
 		aliasDrawSpec(),
+		ldaMHDrawSpec(),
+		hmmMHDrawSpec(),
 		gramFoldSpec(),
 		psShardFoldSpec(),
 		runPhaseMergeSpec(),
 		traceExportSpec(),
 	}
+}
+
+// MHDocLen is the document length shared by the MH micro specs and the
+// speedup gate test: one op resamples this many tokens.
+const MHDocLen = 64
+
+// ldaResampleSpec builds an LDA resampling benchmark for the given tier
+// and topic count: one op = redrawing every z of one MHDocLen-word
+// document. The topic axis is where the tiers separate — the dense scan
+// pays O(T) per token, the cached MH kernel O(1).
+func ldaResampleSpec(name string, tier randgen.SamplerTier, topics, n int) Spec {
+	h := lda.Hyper{T: topics, V: 2000, Alpha: 0.1, Beta: 0.1}
+	rng := randgen.New(17)
+	model := lda.Init(rng, h)
+	model.RefreshProposals(h)
+	words := make([]int, MHDocLen)
+	for i := range words {
+		words[i] = rng.Intn(h.V)
+	}
+	doc := lda.InitDoc(rng, words, h)
+	return Spec{
+		Name:   name,
+		N:      n,
+		Warmup: 1,
+		Run: func(n int) error {
+			for i := 0; i < n; i++ {
+				model.ResampleZTier(rng, doc, tier)
+			}
+			Sink += doc.Theta[0]
+			return nil
+		},
+	}
+}
+
+// ldaMHDrawSpec: the mhalias LDA token kernel (cycled doc/word proposals
+// against the cached alias tables).
+func ldaMHDrawSpec() Spec {
+	return ldaResampleSpec("micro:lda-mh-draw", randgen.TierMHAlias, 1000, 10_000)
+}
+
+// hmmResampleSpec builds a K=100 HMM resampling benchmark for the given
+// tier: one op = one parity sweep over an MHDocLen-word chain.
+func hmmResampleSpec(name string, tier randgen.SamplerTier, n int) Spec {
+	h := hmm.Hyper{K: 100, V: 2000, Alpha: 0.1, Beta: 0.1}
+	rng := randgen.New(19)
+	model := hmm.Init(rng, h)
+	model.RefreshProposals()
+	words := make([]int, MHDocLen)
+	for i := range words {
+		words[i] = rng.Intn(h.V)
+	}
+	states := hmm.InitStates(rng, words, h.K)
+	var sc hmm.Scratch
+	return Spec{
+		Name:   name,
+		N:      n,
+		Warmup: 1,
+		Run: func(n int) error {
+			var acc int
+			for i := 0; i < n; i++ {
+				model.ResampleStatesTier(rng, words, states, i, tier, &sc)
+				acc += states[0]
+			}
+			Sink += float64(acc)
+			return nil
+		},
+	}
+}
+
+// hmmMHDrawSpec: the mhalias HMM state kernel (emission + transition
+// proposals against the cached alias tables).
+func hmmMHDrawSpec() Spec {
+	return hmmResampleSpec("micro:hmm-mh-draw", randgen.TierMHAlias, 10_000)
 }
 
 // aliasDrawSpec: one op = one O(1) categorical draw from a K=100 alias

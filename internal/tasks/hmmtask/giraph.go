@@ -19,16 +19,20 @@ type hmmWordVtx struct {
 	word, state int
 }
 
-// hmmDocVtx is one document (document-based).
+// hmmDocVtx is one document (document-based). The vertex owns its
+// resampling scratch: the Model is shared across host goroutines during
+// supersteps, so buffers must live with the single-owner vertex.
 type hmmDocVtx struct {
 	words  []int
 	states []int
+	sc     hmm.Scratch
 }
 
 // hmmBlockVtx is a super vertex: a block of documents.
 type hmmBlockVtx struct {
 	docs   [][]int
 	states [][]int
+	sc     hmm.Scratch
 }
 
 // hmmStateVtx is one hidden state holding Psi_s and delta_s.
@@ -68,6 +72,7 @@ func RunGiraph(cl *sim.Cluster, cfg Config, variant Variant) (*task.Result, erro
 
 	rng := randgen.New(cfg.Seed ^ 0x64a1)
 	model := hmm.Init(rng, h)
+	refreshProposals(cfg, nil, model)
 
 	machineDocs := make([][][]int, machines)
 	next := int64(hmmDataBase)
@@ -145,8 +150,8 @@ func RunGiraph(cl *sim.Cluster, cfg Config, variant Variant) (*task.Result, erro
 				// Two boxed touches per word (read neighbors, write state)
 				// plus the sampling flops in a tight loop.
 				m.ChargeTuples(2 * len(d.words))
-				m.ChargeBulk(float64(len(d.words)) * hmm.StateFlops(cfg.K) / 2)
-				model.ResampleStates(m.RNG(), d.words, d.states, iterCopy)
+				m.ChargeBulk(float64(len(d.words)) * hmm.StateFlopsTier(cfg.Sampler, cfg.K) / 2)
+				model.ResampleStatesTier(m.RNG(), d.words, d.states, iterCopy, cfg.Sampler, &d.sc)
 				c := hmm.NewCounts(cfg.K, cfg.V)
 				c.Accumulate(d.words, d.states, cl.Scale())
 				emit(c)
@@ -156,8 +161,8 @@ func RunGiraph(cl *sim.Cluster, cfg Config, variant Variant) (*task.Result, erro
 					// Half the positions are resampled per sweep; each
 					// pays a boxed state/count touch plus the flops.
 					m.ChargeTuples(len(doc) / 2)
-					m.ChargeBulk(float64(len(doc)) * hmm.StateFlops(cfg.K) / 2)
-					model.ResampleStates(m.RNG(), doc, d.states[i], iterCopy)
+					m.ChargeBulk(float64(len(doc)) * hmm.StateFlopsTier(cfg.Sampler, cfg.K) / 2)
+					model.ResampleStatesTier(m.RNG(), doc, d.states[i], iterCopy, cfg.Sampler, &d.sc)
 					c.Accumulate(doc, d.states[i], cl.Scale())
 				}
 				emit(c)
@@ -191,6 +196,7 @@ func RunGiraph(cl *sim.Cluster, cfg Config, variant Variant) (*task.Result, erro
 			m.SetProfile(sim.ProfileJava)
 			m.ChargeLinalgAbs(cfg.K, float64(cfg.V+cfg.K), 1)
 			model.UpdateModel(rng, h, gathered)
+			refreshProposals(cfg, m, model)
 			return nil
 		}); err != nil {
 			return res, err

@@ -22,6 +22,7 @@ type glSVVtx struct {
 	docs   [][]int
 	states [][]int
 	counts *hmm.Counts
+	sc     hmm.Scratch
 }
 
 // glStateVtx is one hidden state.
@@ -101,8 +102,8 @@ func (p *glHMMProg) Apply(m *sim.Meter, v *gas.Vertex, acc any) {
 	case *glSVVtx:
 		c := hmm.NewCounts(cfg.K, cfg.V)
 		for i, doc := range d.docs {
-			m.ChargeBulk(float64(len(doc)) * hmm.StateFlops(cfg.K) / 2)
-			p.st.model.ResampleStates(m.RNG(), doc, d.states[i], p.roundIter())
+			m.ChargeBulk(float64(len(doc)) * hmm.StateFlopsTier(cfg.Sampler, cfg.K) / 2)
+			p.st.model.ResampleStatesTier(m.RNG(), doc, d.states[i], p.roundIter(), cfg.Sampler, &d.sc)
 			c.Accumulate(doc, d.states[i], p.st.scale)
 		}
 		d.counts = c
@@ -147,6 +148,7 @@ func RunGraphLab(cl *sim.Cluster, cfg Config) (*task.Result, error) {
 	h := cfg.hyper()
 	st := &glHMMState{cfg: cfg, h: h, rng: rng, scale: cl.Scale()}
 	st.model = hmm.Init(rng, h)
+	refreshProposals(cfg, nil, st.model)
 
 	var svIDs, stateIDs []gas.VertexID
 	machineDocs := make([][][]int, g.EffectiveMachines())
@@ -197,6 +199,7 @@ func RunGraphLab(cl *sim.Cluster, cfg Config) (*task.Result, error) {
 			m.SetProfile(sim.ProfileCPP)
 			m.ChargeLinalgAbs(cfg.K, float64(cfg.V+cfg.K), 1)
 			st.model.UpdateModel(rng, h, st.counts)
+			refreshProposals(cfg, m, st.model)
 			return nil
 		}); err != nil {
 			return res, err

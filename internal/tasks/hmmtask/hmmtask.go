@@ -56,6 +56,10 @@ type Config struct {
 	// (same distribution, O(1) per word instead of O(log V)); the word
 	// stream differs from the default CDF path, so this is opt-in.
 	AliasCorpus bool
+	// Sampler selects the state hot-path tier (dense scan, per-position
+	// alias, or cached Metropolis-Hastings); the default dense tier is
+	// byte-identical to the historical sampler.
+	Sampler randgen.SamplerTier
 }
 
 func (c Config) withDefaults() Config {
@@ -96,8 +100,23 @@ func genMachineDocs(cl *sim.Cluster, cfg Config, machine int) [][]int {
 	}
 	return workload.GenCorpus(rng, workload.CorpusConfig{
 		Docs: n, Vocab: cfg.V, AvgLen: cfg.AvgDocLen, Topics: topics,
-		UseAlias: cfg.AliasCorpus,
+		UseAlias: cfg.AliasCorpus, Sampler: cfg.Sampler,
 	})
+}
+
+// refreshProposals rebuilds model's mhalias proposal cache (a no-op for
+// the other tiers). Every call site is a serial point — engine setup,
+// driver update sections, parameter-server snapshot clones — because the
+// cache is shared read-only by the concurrent resampling. A nil meter
+// skips cost accounting (pre-clock setup).
+func refreshProposals(cfg Config, m *sim.Meter, model *hmm.Model) {
+	if cfg.Sampler != randgen.TierMHAlias {
+		return
+	}
+	if m != nil {
+		m.ChargeBulkAbs(hmm.StateProposalFlops(cfg.K, cfg.V))
+	}
+	model.RefreshProposals()
 }
 
 // wordsIn counts the words of a document set.

@@ -62,7 +62,12 @@ func RunPS(cl *sim.Cluster, cfg Config, psCfg psengine.Config) (*task.Result, er
 	}
 	res.InitSec = sw.Lap()
 
-	snaps := []*hmm.Model{cloneHMMModel(model)}
+	// Each snapshot carries its own proposal cache: workers on stale
+	// versions MH-propose from the tables that match their model snapshot.
+	snap0 := cloneHMMModel(model)
+	refreshProposals(cfg, nil, snap0)
+	snaps := []*hmm.Model{snap0}
+	scratches := make([]hmm.Scratch, machines)
 	wire := float64(modelBytes(cfg.K, cfg.V))
 	locals := make([]*hmm.Counts, machines)
 	for iter := 0; iter < cfg.Iterations; iter++ {
@@ -77,8 +82,8 @@ func RunPS(cl *sim.Cluster, cfg Config, psCfg psengine.Config) (*task.Result, er
 				local := hmm.NewCounts(cfg.K, cfg.V)
 				for i, doc := range machineDocs[w] {
 					m.ChargeTuples(len(doc) / 2)
-					m.ChargeBulk(float64(len(doc)) * hmm.StateFlops(cfg.K) / 2)
-					mod.ResampleStates(m.RNG(), doc, machineStates[w][i], iterCopy)
+					m.ChargeBulk(float64(len(doc)) * hmm.StateFlopsTier(cfg.Sampler, cfg.K) / 2)
+					mod.ResampleStatesTier(m.RNG(), doc, machineStates[w][i], iterCopy, cfg.Sampler, &scratches[w])
 					local.Accumulate(doc, machineStates[w][i], cl.Scale())
 				}
 				locals[w] = local
@@ -97,7 +102,9 @@ func RunPS(cl *sim.Cluster, cfg Config, psCfg psengine.Config) (*task.Result, er
 			Apply: func(m *sim.Meter) error {
 				m.ChargeLinalgAbs(cfg.K, float64(cfg.V+cfg.K), 1)
 				model.UpdateModel(rng, h, gathered)
-				snaps = append(snaps, cloneHMMModel(model))
+				snap := cloneHMMModel(model)
+				refreshProposals(cfg, m, snap)
+				snaps = append(snaps, snap)
 				return nil
 			},
 		})

@@ -25,6 +25,7 @@ type docStateVG struct {
 	cfg   Config
 	model *hmm.Model
 	iter  int
+	sc    hmm.Scratch
 }
 
 func (v *docStateVG) Name() string { return "doc_state_resample" }
@@ -39,8 +40,8 @@ func (v *docStateVG) Apply(m relational.VGMeter, rows []relational.Tuple) []rela
 		words[pos] = int(t.Int(2))
 		states[pos] = int(t.Int(3))
 	}
-	m.ChargeOps(len(rows)/2, hmm.StateFlops(v.cfg.K), 1)
-	v.model.ResampleStates(m.RNG(), words, states, v.iter)
+	m.ChargeOps(len(rows)/2, hmm.StateFlopsTier(v.cfg.Sampler, v.cfg.K), 1)
+	v.model.ResampleStatesTier(m.RNG(), words, states, v.iter, v.cfg.Sampler, &v.sc)
 	out := make([]relational.Tuple, len(rows))
 	docID := rows[0].Float(0)
 	for pos := range words {
@@ -76,6 +77,7 @@ func RunSimSQL(cl *sim.Cluster, cfg Config, variant Variant) (*task.Result, erro
 
 	rng := randgen.New(cfg.Seed ^ 0x4a4b)
 	model := hmm.Init(rng, h)
+	refreshProposals(cfg, nil, model)
 
 	// Build the per-word state relation and the task-local corpus.
 	machineDocs := make([][][]int, machines)
@@ -153,6 +155,7 @@ func RunSimSQL(cl *sim.Cluster, cfg Config, variant Variant) (*task.Result, erro
 			m.SetProfile(sim.ProfileCPP)
 			m.ChargeLinalgAbs(cfg.K, float64(cfg.V+cfg.K), 1)
 			model.UpdateModel(rng, h, counts)
+			refreshProposals(cfg, m, model)
 			return nil
 		}); err != nil {
 			return res, err
@@ -250,10 +253,11 @@ func simsqlSVIteration(cl *sim.Cluster, cfg Config, model *hmm.Model, machineDoc
 		m.SetProfile(sim.ProfileCPP)
 		docs := machineDocs[machine]
 		sts := localStates[machine]
+		var sc hmm.Scratch
 		var rows []relational.Tuple
 		for di, doc := range docs {
-			m.ChargeBulk(float64(len(doc)) * hmm.StateFlops(cfg.K) / 2)
-			model.ResampleStates(m.RNG(), doc, sts[di], iter)
+			m.ChargeBulk(float64(len(doc)) * hmm.StateFlopsTier(cfg.Sampler, cfg.K) / 2)
+			model.ResampleStatesTier(m.RNG(), doc, sts[di], iter, cfg.Sampler, &sc)
 			for pos, wd := range doc {
 				prev := -1.0
 				if pos > 0 {

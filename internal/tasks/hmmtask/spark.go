@@ -11,11 +11,12 @@ import (
 )
 
 // sparkDoc is one document in the d_w_s_seq RDD: words plus current
-// state assignments.
+// state assignments and the record-owned resampling scratch.
 type sparkDoc struct {
 	id     int
 	words  []int
 	states []int
+	sc     hmm.Scratch
 }
 
 // docBytes is the simulated Python size of a document record: two Python
@@ -94,6 +95,7 @@ func RunSpark(cl *sim.Cluster, cfg Config, variant Variant) (*task.Result, error
 		m.SetProfile(profile)
 		m.ChargeLinalgAbs(cfg.K, float64(cfg.V), 1)
 		model = hmm.Init(rng, h)
+		refreshProposals(cfg, m, model)
 		return nil
 	})
 	if err != nil {
@@ -153,6 +155,7 @@ func RunSpark(cl *sim.Cluster, cfg Config, variant Variant) (*task.Result, error
 			}
 			scaleCounts(total, cl.Scale())
 			model.UpdateModel(rng, h, total)
+			refreshProposals(cfg, m, model)
 			return nil
 		})
 		if err != nil {
@@ -164,9 +167,9 @@ func RunSpark(cl *sim.Cluster, cfg Config, variant Variant) (*task.Result, error
 		next := dataflow.Map(state, func(d sparkDoc) int64 { return docBytes(len(d.words)) },
 			func(m *sim.Meter, d sparkDoc) sparkDoc {
 				m.ChargeTuples(len(d.words))
-				m.ChargeLinalg(len(d.words)/2, hmm.StateFlops(cfg.K), 1)
+				m.ChargeLinalg(len(d.words)/2, hmm.StateFlopsTier(cfg.Sampler, cfg.K), 1)
 				ns := append([]int{}, d.states...)
-				model.ResampleStates(m.RNG(), d.words, ns, iterCopy)
+				model.ResampleStatesTier(m.RNG(), d.words, ns, iterCopy, cfg.Sampler, &d.sc)
 				if mc, i := docHome(machineDocs, d.id); mc == 0 {
 					finalStates[0][i] = ns
 				}

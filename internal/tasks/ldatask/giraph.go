@@ -48,6 +48,7 @@ func RunGiraph(cl *sim.Cluster, cfg Config, variant Variant) (*task.Result, erro
 	g := bsp.NewGraph(cl) // no combiner; see ldaCountsMsg
 	rng := randgen.New(cfg.Seed ^ 0x1da3)
 	model := lda.Init(rng, h)
+	refreshProposals(cfg, nil, model)
 
 	machineDocs := make([][]*lda.Doc, machines)
 	next := int64(ldaDataBase)
@@ -109,8 +110,8 @@ func RunGiraph(cl *sim.Cluster, cfg Config, variant Variant) (*task.Result, erro
 			switch d := v.Data.(type) {
 			case *ldaDocVtx:
 				m.ChargeTuples(2 * len(d.doc.Words))
-				m.ChargeBulk(float64(len(d.doc.Words)) * lda.ZFlops(cfg.T))
-				model.ResampleZ(m.RNG(), d.doc)
+				m.ChargeBulk(float64(len(d.doc.Words)) * lda.ZFlopsTier(cfg.Sampler, cfg.T))
+				model.ResampleZTier(m.RNG(), d.doc, cfg.Sampler)
 				d.doc.ResampleTheta(m.RNG(), h)
 				ctx.Send(0, &ldaCountsMsg{docs: []*lda.Doc{d.doc}, weight: cl.Scale()},
 					boxedCountBytes(sim.ProfileJava, cfg.T, cfg.V, perDocTokens))
@@ -119,8 +120,8 @@ func RunGiraph(cl *sim.Cluster, cfg Config, variant Variant) (*task.Result, erro
 					// Every word's z is resampled; each pays a boxed
 					// touch plus the T-weight scan.
 					m.ChargeTuples(len(doc.Words))
-					m.ChargeBulk(float64(len(doc.Words)) * lda.ZFlops(cfg.T))
-					model.ResampleZ(m.RNG(), doc)
+					m.ChargeBulk(float64(len(doc.Words)) * lda.ZFlopsTier(cfg.Sampler, cfg.T))
+					model.ResampleZTier(m.RNG(), doc, cfg.Sampler)
 					doc.ResampleTheta(m.RNG(), h)
 				}
 				ctx.Send(0, &ldaCountsMsg{docs: d.docs, weight: cl.Scale()},
@@ -158,6 +159,7 @@ func RunGiraph(cl *sim.Cluster, cfg Config, variant Variant) (*task.Result, erro
 			m.SetProfile(sim.ProfileJava)
 			m.ChargeLinalgAbs(cfg.T, float64(cfg.V), 1)
 			model.UpdatePhi(rng, h, gathered)
+			refreshProposals(cfg, m, model)
 			return nil
 		}); err != nil {
 			return res, err

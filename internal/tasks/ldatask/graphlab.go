@@ -98,8 +98,8 @@ func (p *glProg) Apply(m *sim.Meter, v *gas.Vertex, acc any) {
 	switch d := v.Data.(type) {
 	case *glSVVtx:
 		for _, doc := range d.docs {
-			m.ChargeBulk(float64(len(doc.Words)) * lda.ZFlops(cfg.T))
-			p.st.model.ResampleZ(m.RNG(), doc)
+			m.ChargeBulk(float64(len(doc.Words)) * lda.ZFlopsTier(cfg.Sampler, cfg.T))
+			p.st.model.ResampleZTier(m.RNG(), doc, cfg.Sampler)
 			doc.ResampleTheta(m.RNG(), p.st.h)
 		}
 	case *glModelVtx:
@@ -139,6 +139,7 @@ func RunGraphLab(cl *sim.Cluster, cfg Config) (*task.Result, error) {
 	h := cfg.hyper()
 	st := &glState{cfg: cfg, h: h, scale: cl.Scale()}
 	st.model = lda.Init(rng, h)
+	refreshProposals(cfg, nil, st.model)
 
 	var svIDs []gas.VertexID
 	machineDocs := make([][]*lda.Doc, g.EffectiveMachines())
@@ -183,6 +184,7 @@ func RunGraphLab(cl *sim.Cluster, cfg Config) (*task.Result, error) {
 			m.SetProfile(sim.ProfileCPP)
 			m.ChargeLinalgAbs(cfg.T, float64(cfg.V), 1)
 			st.model.UpdatePhi(rng, h, st.counts)
+			refreshProposals(cfg, m, st.model)
 			return nil
 		}); err != nil {
 			return res, err

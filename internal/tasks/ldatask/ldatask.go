@@ -57,6 +57,10 @@ type Config struct {
 	// (same distribution, O(1) per word instead of O(log V)); the word
 	// stream differs from the default CDF path, so this is opt-in.
 	AliasCorpus bool
+	// Sampler selects the token hot-path tier (dense scan, per-token
+	// alias, or cached Metropolis-Hastings); the default dense tier is
+	// byte-identical to the historical sampler.
+	Sampler randgen.SamplerTier
 }
 
 func (c Config) withDefaults() Config {
@@ -98,8 +102,23 @@ func genMachineDocs(cl *sim.Cluster, cfg Config, machine int) [][]int {
 	}
 	return workload.GenCorpus(rng, workload.CorpusConfig{
 		Docs: n, Vocab: cfg.V, AvgLen: cfg.AvgDocLen, Topics: topics,
-		UseAlias: cfg.AliasCorpus,
+		UseAlias: cfg.AliasCorpus, Sampler: cfg.Sampler,
 	})
+}
+
+// refreshProposals rebuilds model's mhalias proposal cache (a no-op for
+// the other tiers). Every call site is a serial point — engine setup,
+// driver update sections, parameter-server snapshot clones — because the
+// cache is shared read-only by the concurrent resampling. A nil meter
+// skips cost accounting (pre-clock setup).
+func refreshProposals(cfg Config, m *sim.Meter, model *lda.Model) {
+	if cfg.Sampler != randgen.TierMHAlias {
+		return
+	}
+	if m != nil {
+		m.ChargeBulkAbs(lda.ProposalFlops(cfg.T, cfg.V))
+	}
+	model.RefreshProposals(cfg.hyper())
 }
 
 // modelBytes is the wire size of the topic-word matrix phi.

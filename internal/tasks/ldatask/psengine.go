@@ -65,7 +65,12 @@ func RunPS(cl *sim.Cluster, cfg Config, psCfg psengine.Config) (*task.Result, er
 	}
 	res.InitSec = sw.Lap()
 
-	snaps := []*lda.Model{cloneLDAModel(model)}
+	// Each snapshot carries its own proposal cache: workers on stale
+	// versions keep MH-proposing from the tables that match their phi
+	// snapshot (the accept ratio corrects against that same snapshot).
+	snap0 := cloneLDAModel(model)
+	refreshProposals(cfg, nil, snap0)
+	snaps := []*lda.Model{snap0}
 	wire := float64(modelBytes(cfg.T, cfg.V))
 	locals := make([]*lda.WordCounts, machines)
 	for iter := 0; iter < cfg.Iterations; iter++ {
@@ -79,8 +84,8 @@ func RunPS(cl *sim.Cluster, cfg Config, psCfg psengine.Config) (*task.Result, er
 				local := lda.NewWordCounts(cfg.T, cfg.V)
 				for _, doc := range machineDocs[w] {
 					m.ChargeTuples(len(doc.Words))
-					m.ChargeBulk(float64(len(doc.Words)) * lda.ZFlops(cfg.T))
-					phi.ResampleZ(m.RNG(), doc)
+					m.ChargeBulk(float64(len(doc.Words)) * lda.ZFlopsTier(cfg.Sampler, cfg.T))
+					phi.ResampleZTier(m.RNG(), doc, cfg.Sampler)
 					doc.ResampleTheta(m.RNG(), h)
 					local.Accumulate(doc, cl.Scale())
 				}
@@ -97,7 +102,9 @@ func RunPS(cl *sim.Cluster, cfg Config, psCfg psengine.Config) (*task.Result, er
 			Apply: func(m *sim.Meter) error {
 				m.ChargeLinalgAbs(cfg.T, float64(cfg.V), 1)
 				model.UpdatePhi(rng, h, gathered)
-				snaps = append(snaps, cloneLDAModel(model))
+				snap := cloneLDAModel(model)
+				refreshProposals(cfg, m, snap)
+				snaps = append(snaps, snap)
 				return nil
 			},
 		})

@@ -31,8 +31,8 @@ func (v *docZVG) OutSchema() relational.Schema {
 }
 func (v *docZVG) Apply(m relational.VGMeter, rows []relational.Tuple) []relational.Tuple {
 	d := v.docs[rows[0].Int(0)]
-	m.ChargeOps(len(d.Words), lda.ZFlops(v.cfg.T), 1)
-	v.model.ResampleZ(m.RNG(), d)
+	m.ChargeOps(len(d.Words), lda.ZFlopsTier(v.cfg.Sampler, v.cfg.T), 1)
+	v.model.ResampleZTier(m.RNG(), d, v.cfg.Sampler)
 	d.ResampleTheta(m.RNG(), v.h)
 	out := make([]relational.Tuple, len(d.Words))
 	docID := rows[0].Float(0)
@@ -62,6 +62,7 @@ func RunSimSQL(cl *sim.Cluster, cfg Config, variant Variant) (*task.Result, erro
 
 	rng := randgen.New(cfg.Seed ^ 0x1da2)
 	model := lda.Init(rng, h)
+	refreshProposals(cfg, nil, model)
 
 	// Task-local document state plus the per-word z relation.
 	docsByID := map[int64]*lda.Doc{}
@@ -178,8 +179,8 @@ func RunSimSQL(cl *sim.Cluster, cfg Config, variant Variant) (*task.Result, erro
 				var rows []relational.Tuple
 				for i := 0; i < machineDocCount[machine]; i++ {
 					d := docsByID[base+int64(i)]
-					m.ChargeBulk(float64(len(d.Words)) * lda.ZFlops(cfg.T))
-					model.ResampleZ(m.RNG(), d)
+					m.ChargeBulk(float64(len(d.Words)) * lda.ZFlopsTier(cfg.Sampler, cfg.T))
+					model.ResampleZTier(m.RNG(), d, cfg.Sampler)
 					d.ResampleTheta(m.RNG(), h)
 					id := float64(base + int64(i))
 					for pos, w := range d.Words {
@@ -211,6 +212,7 @@ func RunSimSQL(cl *sim.Cluster, cfg Config, variant Variant) (*task.Result, erro
 			m.SetProfile(sim.ProfileCPP)
 			m.ChargeLinalgAbs(cfg.T, float64(cfg.V), 1)
 			model.UpdatePhi(rng, h, counts)
+			refreshProposals(cfg, m, model)
 			return nil
 		}); err != nil {
 			return res, err

@@ -83,6 +83,7 @@ func RunSpark(cl *sim.Cluster, cfg Config, variant Variant, profile sim.Profile)
 		m.SetProfile(profile)
 		m.ChargeLinalgAbs(cfg.T, float64(cfg.V), 1)
 		model = lda.Init(rng, h)
+		refreshProposals(cfg, m, model)
 		return nil
 	})
 	if err != nil {
@@ -111,11 +112,11 @@ func RunSpark(cl *sim.Cluster, cfg Config, variant Variant, profile sim.Profile)
 			// samples inline at bulk flop rates (Figure 6's advantage).
 			m.ChargeTuples(len(d.doc.Words))
 			if profile.Name == "python" {
-				m.ChargeLinalg(len(d.doc.Words), lda.ZFlops(cfg.T), 1)
+				m.ChargeLinalg(len(d.doc.Words), lda.ZFlopsTier(cfg.Sampler, cfg.T), 1)
 			} else {
-				m.ChargeBulk(float64(len(d.doc.Words)) * lda.ZFlops(cfg.T))
+				m.ChargeBulk(float64(len(d.doc.Words)) * lda.ZFlopsTier(cfg.Sampler, cfg.T))
 			}
-			model.ResampleZ(m.RNG(), d.doc)
+			model.ResampleZTier(m.RNG(), d.doc, cfg.Sampler)
 			d.doc.ResampleTheta(m.RNG(), h)
 			return d
 		}).SetName("state").Cache()
@@ -157,6 +158,7 @@ func RunSpark(cl *sim.Cluster, cfg Config, variant Variant, profile sim.Profile)
 			}
 			scaleWordCounts(total, cl.Scale())
 			model.UpdatePhi(rng, h, total)
+			refreshProposals(cfg, m, model)
 			return nil
 		})
 		if err != nil {

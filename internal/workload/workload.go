@@ -168,6 +168,10 @@ type CorpusConfig struct {
 	// stream changes; tasks opt in explicitly and the default path stays
 	// byte-identical.
 	UseAlias bool
+	// Sampler is the task's sampler tier. Any non-dense tier implies the
+	// alias word-draw path above: a run that opted out of the O(T) token
+	// scan should not pay the O(log V) corpus draw either.
+	Sampler randgen.SamplerTier
 }
 
 // GenCorpus generates documents. With Topics > 0, each document draws
@@ -197,7 +201,7 @@ func GenCorpus(rng *randgen.RNG, cfg CorpusConfig) [][]int {
 		perms[t] = rng.Perm(cfg.Vocab)
 	}
 	var sample func(t int) int
-	if cfg.UseAlias {
+	if cfg.UseAlias || cfg.Sampler != randgen.TierDense {
 		at := randgen.NewAlias(weights)
 		sample = func(t int) int {
 			return perms[t][at.Draw(rng)]

@@ -269,6 +269,37 @@ func TestGenCorpusAliasSameDistribution(t *testing.T) {
 	}
 }
 
+func TestGenCorpusSamplerTierImpliesAlias(t *testing.T) {
+	// A non-dense sampler tier routes corpus generation through the alias
+	// word draw: the stream must match UseAlias exactly, and differ from
+	// the dense CDF stream.
+	base := CorpusConfig{Docs: 10, Vocab: 100, AvgLen: 30, Topics: 2}
+	gen := func(cfg CorpusConfig) [][]int { return GenCorpus(randgen.New(41), cfg) }
+	aliasCfg, tierCfg := base, base
+	aliasCfg.UseAlias = true
+	tierCfg.Sampler = randgen.TierMHAlias
+	dense, alias, tier := gen(base), gen(aliasCfg), gen(tierCfg)
+	same := func(a, b [][]int) bool {
+		for i := range a {
+			if len(a[i]) != len(b[i]) {
+				return false
+			}
+			for j := range a[i] {
+				if a[i][j] != b[i][j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if !same(alias, tier) {
+		t.Error("Sampler: mhalias corpus differs from UseAlias corpus")
+	}
+	if same(dense, tier) {
+		t.Error("Sampler: mhalias corpus unexpectedly matches the dense CDF stream")
+	}
+}
+
 func TestPlantedMeansSeparation(t *testing.T) {
 	mu := PlantedMeans(randgen.New(5), 4, 3, 8)
 	if len(mu) != 4 || len(mu[0]) != 3 {

@@ -65,6 +65,27 @@ pstable=$(curl -sf "$BASE/v1/runs/$psid/table") || fail "fig-ps table download f
 [[ "$pstable" == *"Param Server"* ]] || fail "fig-ps table missing Param Server row: $pstable"
 echo "serve_smoke: fig-ps cell OK"
 
+# 1c. One mhalias cell: the Metropolis-Hastings sampler tier must run
+# end to end through the service (the spec's sampler field survives the
+# JSON round trip and reaches the HMM task).
+MH_SPEC='{"figure":"fig3b","row":"Giraph","col":"5m","iters":1,"scalediv":0.02,"sampler":"mhalias"}'
+resp=$(curl -sf -X POST "$BASE/v1/runs" -d "$MH_SPEC") || fail "mhalias submit rejected: $resp"
+mhid=$(echo "$resp" | jfield id)
+[ -n "$mhid" ] || fail "no run id in: $resp"
+state=""
+for _ in $(seq 1 600); do
+  state=$(curl -sf "$BASE/v1/runs/$mhid" | jfield state)
+  case "$state" in
+    done) break ;;
+    failed|canceled) fail "run $mhid ended $state" ;;
+  esac
+  sleep 0.5
+done
+[ "$state" = "done" ] || fail "mhalias run $mhid did not finish (state: $state)"
+mhtable=$(curl -sf "$BASE/v1/runs/$mhid/table") || fail "mhalias table download failed"
+[[ "$mhtable" == *"Giraph"* ]] || fail "mhalias table missing Giraph row: $mhtable"
+echo "serve_smoke: mhalias cell OK"
+
 # 2. The identical spec must be a cache hit answered in <100ms.
 t0=$(date +%s%N)
 resp2=$(curl -sf -X POST "$BASE/v1/runs" -d "$SPEC")
