@@ -1,0 +1,99 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"mlbench/internal/loadgen"
+)
+
+// cmdLoad implements `mlbench load`: replay a traffic profile against a
+// running mlbenchd at the profile's (or an overridden) time compression
+// and judge the result against the profile's SLO block. Exit codes: 0 =
+// replay finished and every SLO verdict passed, 1 = replay finished but
+// an SLO verdict failed (or the server was unreachable), 2 = the profile
+// or flags were invalid.
+func cmdLoad(args []string) int {
+	fs := flag.NewFlagSet("mlbench load", flag.ExitOnError)
+	profile := fs.String("profile", "", "traffic profile to replay (.yaml/.yml/.json; required)")
+	target := fs.String("target", "http://127.0.0.1:8080", "base URL of the mlbenchd under test")
+	compress := fs.Float64("compress", 0, "override the profile's time-compression factor (0 = profile's own)")
+	seed := fs.Uint64("seed", 0, "override the profile's schedule seed (0 = profile's own)")
+	csvOut := fs.String("csv", "", "write the per-bucket timeline CSV to this file (empty = stdout)")
+	sumOut := fs.String("summary", "", "write the summary JSON to this file (empty = stdout)")
+	noretry := fs.Bool("noretry", false, "do not honor Retry-After on 429 (count rejections and move on)")
+	quiet := fs.Bool("quiet", false, "suppress replay narration on stderr")
+	fs.Parse(args)
+	if *profile == "" {
+		fmt.Fprintln(os.Stderr, "mlbench load: -profile is required")
+		fs.Usage()
+		return 2
+	}
+	p, err := loadgen.LoadProfile(*profile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mlbench load: %v\n", err)
+		return 2
+	}
+	opts := loadgen.Options{
+		BaseURL:      *target,
+		Compression:  *compress,
+		Seed:         *seed,
+		DisableRetry: *noretry,
+	}
+	if !*quiet {
+		opts.Log = func(format string, a ...any) {
+			fmt.Fprintf(os.Stderr, "load: "+format+"\n", a...)
+		}
+	}
+	res, err := loadgen.Run(p, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mlbench load: %v\n", err)
+		return 1
+	}
+	if err := writeTo(*csvOut, func(w io.Writer) error {
+		return loadgen.WriteCSV(w, res.Buckets)
+	}); err != nil {
+		fmt.Fprintf(os.Stderr, "mlbench load: write timeline: %v\n", err)
+		return 1
+	}
+	if err := writeTo(*sumOut, func(w io.Writer) error {
+		return loadgen.WriteSummary(w, &res.Summary)
+	}); err != nil {
+		fmt.Fprintf(os.Stderr, "mlbench load: write summary: %v\n", err)
+		return 1
+	}
+	s := res.Summary
+	fmt.Fprintf(os.Stderr, "load: %s: issued %d, completed %d, 429 %d, 503 %d, errors %d, p99 %.1fms, workers %d..%d\n",
+		p.Name, s.Issued, s.Completed, s.Rejected429, s.Unavail503, s.Errors, s.P99Ms, s.MinWorkers, s.MaxWorkers)
+	for _, v := range s.Verdicts {
+		mark := "PASS"
+		if !v.Pass {
+			mark = "FAIL"
+		}
+		fmt.Fprintf(os.Stderr, "load: slo %-18s limit %g actual %g  %s\n", v.Name, v.Limit, v.Actual, mark)
+	}
+	if !s.Pass {
+		fmt.Fprintln(os.Stderr, "load: SLO FAILED")
+		return 1
+	}
+	fmt.Fprintln(os.Stderr, "load: SLO passed")
+	return 0
+}
+
+// writeTo streams through fn into path, or stdout when path is empty.
+func writeTo(path string, fn func(io.Writer) error) error {
+	if path == "" {
+		return fn(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

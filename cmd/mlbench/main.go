@@ -15,6 +15,7 @@
 //	mlbench gate -benchout baseline.json     # record a perf baseline
 //	mlbench gate -baseline baseline.json     # gate: nonzero on regression
 //	mlbench serve -addr 127.0.0.1:8080       # the experiment service (mlbenchd)
+//	mlbench load -profile profiles/smoke.yaml -target http://127.0.0.1:8080
 //	mlbench list                             # available figures
 //	mlbench loc                              # lines-of-code table
 //
@@ -58,6 +59,8 @@ func main() {
 		os.Exit(cmdGate(args))
 	case "serve":
 		os.Exit(serve.Main(args))
+	case "load":
+		os.Exit(cmdLoad(args))
 	case "list":
 		os.Exit(cmdList(args))
 	case "loc":
@@ -80,6 +83,7 @@ Commands:
   bench  wall-time figures at 1 worker vs the full pool (BENCH_host.json)
   gate   performance-regression gate: measure, record, compare baselines
   serve  long-running experiment service (HTTP/JSON + SSE; see cmd/mlbenchd)
+  load   replay a time-compressed traffic profile against mlbenchd, judge SLOs
   list   list the available figures
   loc    print the lines-of-code table (the paper's LoC column analogue)
 

@@ -1,0 +1,332 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// Profile is a serializable traffic profile for the load generator
+// (internal/loadgen, `mlbench load`): a sequence of arrival-rate phases
+// over a mix of RunSpec templates, plus scheduled events (cache flush,
+// drain) and the serving SLOs the replay is judged against. Rates are
+// expressed in profile time (seconds at compression 1); the driver replays
+// the profile at Compression× wall speed, so a 500-second profile at
+// compression 100 takes five wall seconds.
+type Profile struct {
+	// Name identifies the profile in reports.
+	Name string `json:"name"`
+	// Description is free-form documentation.
+	Description string `json:"description,omitempty"`
+	// Compression is the default time-compression factor: profile seconds
+	// per wall second (default 1; `mlbench load -compress` overrides).
+	Compression float64 `json:"compression,omitempty"`
+	// BucketSec is the timeline aggregation bucket, in profile seconds
+	// (default 10).
+	BucketSec float64 `json:"bucket_sec,omitempty"`
+	// Seed drives template selection and per-request seeds (default 1).
+	Seed uint64 `json:"seed,omitempty"`
+	// GraceSec is how long (profile seconds) the driver keeps polling for
+	// in-flight completions after the last phase ends (default 30).
+	GraceSec float64 `json:"grace_sec,omitempty"`
+	// Templates is the weighted RunSpec mix requests are drawn from.
+	Templates []Template `json:"templates"`
+	// Phases run back to back; each generates arrivals per its pattern.
+	Phases []Phase `json:"phases"`
+	// Events fire at absolute profile offsets while phases run.
+	Events []ScheduledEvent `json:"events,omitempty"`
+	// SLO, when set, turns the replay summary into pass/fail verdicts.
+	SLO *SLO `json:"slo,omitempty"`
+}
+
+// Template is one entry of the request mix.
+type Template struct {
+	// Name labels the template in the timeline.
+	Name string `json:"name"`
+	// Weight is the relative draw probability (default 1).
+	Weight float64 `json:"weight,omitempty"`
+	// UniqueSeed substitutes a fresh seed into every request drawn from
+	// this template, defeating the server's result cache — the knob that
+	// separates cache-hit traffic from cache-miss traffic in a mix.
+	UniqueSeed bool `json:"unique_seed,omitempty"`
+	// Spec is the run submitted for each arrival (validated up front).
+	Spec RunSpec `json:"spec"`
+}
+
+// Arrival patterns.
+const (
+	PatternConstant = "constant"
+	PatternRamp     = "ramp"
+	PatternDiurnal  = "diurnal"
+	PatternBurst    = "burst"
+)
+
+// Phase is one segment of the traffic timeline.
+type Phase struct {
+	// Name labels the phase in the timeline and events column.
+	Name string `json:"name"`
+	// DurationSec is the phase length in profile seconds.
+	DurationSec float64 `json:"duration_sec"`
+	// Pattern shapes the arrival rate: constant (default), ramp, diurnal,
+	// or burst.
+	Pattern string `json:"pattern,omitempty"`
+	// RPS is the base arrival rate (requests per profile second). Zero is
+	// allowed: a constant-0 phase is a drain window.
+	RPS float64 `json:"rps"`
+	// ToRPS is the ramp's final rate (pattern ramp: rate moves linearly
+	// from RPS to ToRPS across the phase).
+	ToRPS float64 `json:"to_rps,omitempty"`
+	// PeakRPS and PeriodSec shape the diurnal pattern: the rate swings
+	// sinusoidally between RPS (trough) and PeakRPS with the given period.
+	PeakRPS   float64 `json:"peak_rps,omitempty"`
+	PeriodSec float64 `json:"period_sec,omitempty"`
+	// BurstRPS/BurstEverySec/BurstLenSec shape the burst pattern: every
+	// BurstEverySec the rate jumps from RPS to BurstRPS for BurstLenSec.
+	BurstRPS      float64 `json:"burst_rps,omitempty"`
+	BurstEverySec float64 `json:"burst_every_sec,omitempty"`
+	BurstLenSec   float64 `json:"burst_len_sec,omitempty"`
+}
+
+// Rate evaluates the phase's arrival rate λ(t) at offset t (profile
+// seconds from the phase start). The schedule generator integrates this
+// function; having it on the spec type keeps the pattern semantics next
+// to the fields that define them.
+func (p Phase) Rate(t float64) float64 {
+	switch p.Pattern {
+	case PatternRamp:
+		if p.DurationSec <= 0 {
+			return p.RPS
+		}
+		return p.RPS + (p.ToRPS-p.RPS)*t/p.DurationSec
+	case PatternDiurnal:
+		return p.RPS + (p.PeakRPS-p.RPS)*(1-math.Cos(2*math.Pi*t/p.PeriodSec))/2
+	case PatternBurst:
+		if math.Mod(t, p.BurstEverySec) < p.BurstLenSec {
+			return p.BurstRPS
+		}
+		return p.RPS
+	default: // constant
+		return p.RPS
+	}
+}
+
+// Scheduled event actions.
+const (
+	EventCacheFlush = "cache-flush"
+	EventDrain      = "drain"
+	EventMark       = "mark"
+)
+
+// ScheduledEvent fires a side effect at an absolute profile offset:
+// cache-flush (POST /v1/cache/flush — a cold-cache storm), drain (POST
+// /v1/drain — graceful shutdown under traffic), or mark (an annotation in
+// the timeline, no server effect).
+type ScheduledEvent struct {
+	AtSec  float64 `json:"at_sec"`
+	Action string  `json:"action"`
+	// Label annotates the timeline row (defaults to the action).
+	Label string `json:"label,omitempty"`
+}
+
+// SLO is the serving objective the replay is judged against. Pointer
+// fields distinguish "not asserted" from zero. Rates are fractions of
+// issued requests in [0, 1]; latencies are wall milliseconds as measured
+// at the replayed (compressed) speed.
+type SLO struct {
+	MaxP50Ms        *float64 `json:"max_p50_ms,omitempty"`
+	MaxP99Ms        *float64 `json:"max_p99_ms,omitempty"`
+	Max429Rate      *float64 `json:"max_429_rate,omitempty"`
+	Max503Rate      *float64 `json:"max_503_rate,omitempty"`
+	MaxErrorRate    *float64 `json:"max_error_rate,omitempty"`
+	MinCacheHitRate *float64 `json:"min_cache_hit_rate,omitempty"`
+	MinCompleted    *int     `json:"min_completed,omitempty"`
+}
+
+// ParseProfile decodes a JSON profile strictly: unknown fields anywhere
+// (including inside template specs) are rejected so a typo'd knob fails
+// loudly instead of silently shaping different traffic.
+func ParseProfile(data []byte) (Profile, error) {
+	var p Profile
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&p); err != nil {
+		return Profile{}, fmt.Errorf("core: parse profile: %w", err)
+	}
+	return p, nil
+}
+
+// Normalize fills defaulted fields so that a zero-knob profile and one
+// with the defaults spelled out replay identically.
+func (p Profile) Normalize() Profile {
+	if p.Compression == 0 {
+		p.Compression = 1
+	}
+	if p.BucketSec == 0 {
+		p.BucketSec = 10
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	if p.GraceSec == 0 {
+		p.GraceSec = 30
+	}
+	ts := make([]Template, len(p.Templates))
+	for i, t := range p.Templates {
+		if t.Weight == 0 {
+			t.Weight = 1
+		}
+		t.Spec = t.Spec.Normalize()
+		ts[i] = t
+	}
+	p.Templates = ts
+	ph := make([]Phase, len(p.Phases))
+	for i, x := range p.Phases {
+		if x.Pattern == "" {
+			x.Pattern = PatternConstant
+		}
+		ph[i] = x
+	}
+	p.Phases = ph
+	ev := make([]ScheduledEvent, len(p.Events))
+	for i, e := range p.Events {
+		if e.Label == "" {
+			e.Label = e.Action
+		}
+		ev[i] = e
+	}
+	p.Events = ev
+	return p
+}
+
+// TotalDurationSec is the summed phase length in profile seconds.
+func (p Profile) TotalDurationSec() float64 {
+	var d float64
+	for _, ph := range p.Phases {
+		d += ph.DurationSec
+	}
+	return d
+}
+
+// Validate checks a normalized profile and returns an actionable error.
+func (p Profile) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("core: profile: name is required")
+	}
+	if p.Compression <= 0 {
+		return fmt.Errorf("core: profile %s: compression must be > 0, got %g", p.Name, p.Compression)
+	}
+	if p.BucketSec <= 0 {
+		return fmt.Errorf("core: profile %s: bucket_sec must be > 0, got %g", p.Name, p.BucketSec)
+	}
+	if p.GraceSec < 0 {
+		return fmt.Errorf("core: profile %s: grace_sec must be >= 0, got %g", p.Name, p.GraceSec)
+	}
+	if len(p.Templates) == 0 {
+		return fmt.Errorf("core: profile %s: at least one template is required", p.Name)
+	}
+	seen := map[string]bool{}
+	for i, t := range p.Templates {
+		if t.Name == "" {
+			return fmt.Errorf("core: profile %s: templates[%d]: name is required", p.Name, i)
+		}
+		if seen[t.Name] {
+			return fmt.Errorf("core: profile %s: duplicate template name %q", p.Name, t.Name)
+		}
+		seen[t.Name] = true
+		if t.Weight <= 0 {
+			return fmt.Errorf("core: profile %s: template %s: weight must be > 0, got %g", p.Name, t.Name, t.Weight)
+		}
+		if err := t.Spec.Validate(); err != nil {
+			return fmt.Errorf("core: profile %s: template %s: %w", p.Name, t.Name, err)
+		}
+	}
+	if len(p.Phases) == 0 {
+		return fmt.Errorf("core: profile %s: at least one phase is required", p.Name)
+	}
+	for i, ph := range p.Phases {
+		if err := ph.validate(); err != nil {
+			return fmt.Errorf("core: profile %s: phases[%d] (%s): %w", p.Name, i, ph.Name, err)
+		}
+	}
+	total := p.TotalDurationSec()
+	for i, e := range p.Events {
+		switch e.Action {
+		case EventCacheFlush, EventDrain, EventMark:
+		default:
+			return fmt.Errorf("core: profile %s: events[%d]: unknown action %q (have %s, %s, %s)",
+				p.Name, i, e.Action, EventCacheFlush, EventDrain, EventMark)
+		}
+		if e.AtSec < 0 || e.AtSec > total {
+			return fmt.Errorf("core: profile %s: events[%d]: at_sec %g outside the profile (0..%g)",
+				p.Name, i, e.AtSec, total)
+		}
+	}
+	if s := p.SLO; s != nil {
+		for _, r := range []struct {
+			name string
+			v    *float64
+		}{
+			{"max_p50_ms", s.MaxP50Ms}, {"max_p99_ms", s.MaxP99Ms},
+		} {
+			if r.v != nil && *r.v <= 0 {
+				return fmt.Errorf("core: profile %s: slo: %s must be > 0, got %g", p.Name, r.name, *r.v)
+			}
+		}
+		for _, r := range []struct {
+			name string
+			v    *float64
+		}{
+			{"max_429_rate", s.Max429Rate}, {"max_503_rate", s.Max503Rate},
+			{"max_error_rate", s.MaxErrorRate}, {"min_cache_hit_rate", s.MinCacheHitRate},
+		} {
+			if r.v != nil && (*r.v < 0 || *r.v > 1) {
+				return fmt.Errorf("core: profile %s: slo: %s must be in [0, 1], got %g", p.Name, r.name, *r.v)
+			}
+		}
+		if s.MinCompleted != nil && *s.MinCompleted < 0 {
+			return fmt.Errorf("core: profile %s: slo: min_completed must be >= 0, got %d", p.Name, *s.MinCompleted)
+		}
+	}
+	return nil
+}
+
+func (p Phase) validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("name is required")
+	}
+	if p.DurationSec <= 0 {
+		return fmt.Errorf("duration_sec must be > 0, got %g", p.DurationSec)
+	}
+	if p.RPS < 0 {
+		return fmt.Errorf("rps must be >= 0, got %g", p.RPS)
+	}
+	switch p.Pattern {
+	case PatternConstant:
+	case PatternRamp:
+		if p.ToRPS < 0 {
+			return fmt.Errorf("ramp: to_rps must be >= 0, got %g", p.ToRPS)
+		}
+	case PatternDiurnal:
+		if p.PeakRPS < p.RPS {
+			return fmt.Errorf("diurnal: peak_rps %g must be >= rps %g", p.PeakRPS, p.RPS)
+		}
+		if p.PeriodSec <= 0 {
+			return fmt.Errorf("diurnal: period_sec must be > 0, got %g", p.PeriodSec)
+		}
+	case PatternBurst:
+		if p.BurstRPS <= 0 {
+			return fmt.Errorf("burst: burst_rps must be > 0, got %g", p.BurstRPS)
+		}
+		if p.BurstEverySec <= 0 {
+			return fmt.Errorf("burst: burst_every_sec must be > 0, got %g", p.BurstEverySec)
+		}
+		if p.BurstLenSec <= 0 || p.BurstLenSec > p.BurstEverySec {
+			return fmt.Errorf("burst: burst_len_sec must be in (0, burst_every_sec], got %g", p.BurstLenSec)
+		}
+	default:
+		return fmt.Errorf("unknown pattern %q (have %s, %s, %s, %s)",
+			p.Pattern, PatternConstant, PatternRamp, PatternDiurnal, PatternBurst)
+	}
+	return nil
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+const validProfileJSON = `{
+  "name": "t",
+  "templates": [
+    {"name": "hot", "spec": {"figure": "fig1a"}},
+    {"name": "cold", "weight": 3, "unique_seed": true, "spec": {"figure": "fig1b"}}
+  ],
+  "phases": [
+    {"name": "ramp", "duration_sec": 60, "pattern": "ramp", "rps": 1, "to_rps": 5},
+    {"name": "steady", "duration_sec": 30, "rps": 5}
+  ],
+  "events": [{"at_sec": 70, "action": "cache-flush"}],
+  "slo": {"max_p99_ms": 500, "max_429_rate": 0.1}
+}`
+
+func TestParseProfileAndNormalize(t *testing.T) {
+	p, err := ParseProfile([]byte(validProfileJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p = p.Normalize()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Compression != 1 || p.BucketSec != 10 || p.Seed != 1 || p.GraceSec != 30 {
+		t.Fatalf("defaults not applied: %+v", p)
+	}
+	if p.Templates[0].Weight != 1 || p.Templates[1].Weight != 3 {
+		t.Fatalf("template weights: %+v", p.Templates)
+	}
+	if p.Templates[0].Spec.Iterations != 2 {
+		t.Fatalf("template spec not normalized: %+v", p.Templates[0].Spec)
+	}
+	if p.Phases[1].Pattern != PatternConstant {
+		t.Fatalf("default pattern: %+v", p.Phases[1])
+	}
+	if p.Events[0].Label != EventCacheFlush {
+		t.Fatalf("event label default: %+v", p.Events[0])
+	}
+	if got := p.TotalDurationSec(); got != 90 {
+		t.Fatalf("total duration = %g, want 90", got)
+	}
+}
+
+func TestParseProfileRejectsUnknownFields(t *testing.T) {
+	cases := []string{
+		`{"name": "t", "rsp": 1}`,
+		`{"name": "t", "templates": [{"name": "a", "spec": {"figgure": "fig1a"}}]}`,
+		`{"name": "t", "phases": [{"name": "p", "durationsec": 5}]}`,
+	}
+	for _, c := range cases {
+		if _, err := ParseProfile([]byte(c)); err == nil {
+			t.Errorf("unknown field accepted: %s", c)
+		}
+	}
+}
+
+func TestProfileValidateErrors(t *testing.T) {
+	base := func() Profile {
+		p, err := ParseProfile([]byte(validProfileJSON))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p.Normalize()
+	}
+	cases := []struct {
+		name string
+		mut  func(*Profile)
+		want string
+	}{
+		{"missing name", func(p *Profile) { p.Name = "" }, "name is required"},
+		{"no templates", func(p *Profile) { p.Templates = nil }, "at least one template"},
+		{"dup template", func(p *Profile) { p.Templates[1].Name = "hot" }, "duplicate template name"},
+		{"bad weight", func(p *Profile) { p.Templates[0].Weight = -1 }, "weight must be > 0"},
+		{"bad spec", func(p *Profile) { p.Templates[0].Spec.Figure = "nope" }, "template hot"},
+		{"no phases", func(p *Profile) { p.Phases = nil }, "at least one phase"},
+		{"bad duration", func(p *Profile) { p.Phases[0].DurationSec = 0 }, "duration_sec must be > 0"},
+		{"bad pattern", func(p *Profile) { p.Phases[0].Pattern = "sawtooth" }, "unknown pattern"},
+		{"bad burst", func(p *Profile) {
+			p.Phases[0] = Phase{Name: "b", DurationSec: 10, Pattern: PatternBurst, RPS: 1}
+		}, "burst_rps must be > 0"},
+		{"burst len", func(p *Profile) {
+			p.Phases[0] = Phase{Name: "b", DurationSec: 10, Pattern: PatternBurst, RPS: 1,
+				BurstRPS: 5, BurstEverySec: 4, BurstLenSec: 5}
+		}, "burst_len_sec"},
+		{"diurnal period", func(p *Profile) {
+			p.Phases[0] = Phase{Name: "d", DurationSec: 10, Pattern: PatternDiurnal, RPS: 1, PeakRPS: 5}
+		}, "period_sec must be > 0"},
+		{"bad event action", func(p *Profile) { p.Events[0].Action = "explode" }, "unknown action"},
+		{"event out of range", func(p *Profile) { p.Events[0].AtSec = 1000 }, "outside the profile"},
+		{"bad slo rate", func(p *Profile) { v := 1.5; p.SLO.Max429Rate = &v }, "[0, 1]"},
+		{"bad slo latency", func(p *Profile) { v := -1.0; p.SLO.MaxP99Ms = &v }, "must be > 0"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := base()
+			tc.mut(&p)
+			err := p.Validate()
+			if err == nil {
+				t.Fatalf("validate accepted a bad profile")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestPhaseRate(t *testing.T) {
+	eps := 1e-9
+	ramp := Phase{DurationSec: 10, Pattern: PatternRamp, RPS: 2, ToRPS: 12}
+	if got := ramp.Rate(0); math.Abs(got-2) > eps {
+		t.Fatalf("ramp(0) = %g", got)
+	}
+	if got := ramp.Rate(5); math.Abs(got-7) > eps {
+		t.Fatalf("ramp(5) = %g", got)
+	}
+	if got := ramp.Rate(10); math.Abs(got-12) > eps {
+		t.Fatalf("ramp(10) = %g", got)
+	}
+
+	diurnal := Phase{DurationSec: 100, Pattern: PatternDiurnal, RPS: 1, PeakRPS: 9, PeriodSec: 20}
+	if got := diurnal.Rate(0); math.Abs(got-1) > eps {
+		t.Fatalf("diurnal trough = %g, want 1", got)
+	}
+	if got := diurnal.Rate(10); math.Abs(got-9) > eps {
+		t.Fatalf("diurnal peak = %g, want 9", got)
+	}
+	if got := diurnal.Rate(20); math.Abs(got-1) > eps {
+		t.Fatalf("diurnal full period = %g, want 1", got)
+	}
+
+	burst := Phase{DurationSec: 30, Pattern: PatternBurst, RPS: 1, BurstRPS: 8, BurstEverySec: 10, BurstLenSec: 2}
+	if got := burst.Rate(0.5); got != 8 {
+		t.Fatalf("burst in-window = %g, want 8", got)
+	}
+	if got := burst.Rate(5); got != 1 {
+		t.Fatalf("burst between = %g, want 1", got)
+	}
+	if got := burst.Rate(10.5); got != 8 {
+		t.Fatalf("burst second window = %g, want 8", got)
+	}
+
+	constant := Phase{DurationSec: 5, Pattern: PatternConstant, RPS: 3}
+	if got := constant.Rate(4); got != 3 {
+		t.Fatalf("constant = %g, want 3", got)
+	}
+}

@@ -1,0 +1,22 @@
+package loadgen
+
+import (
+	"net/http"
+	"net/http/httptest"
+)
+
+// HandlerClient wraps an http.Handler as an *http.Client whose requests
+// are served in process — no sockets, no goroutines, so a replay against
+// the FakeServer is fully deterministic. The BaseURL host is arbitrary
+// (the handler never sees the network).
+func HandlerClient(h http.Handler) *http.Client {
+	return &http.Client{Transport: handlerTransport{h: h}}
+}
+
+type handlerTransport struct{ h http.Handler }
+
+func (t handlerTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	rec := httptest.NewRecorder()
+	t.h.ServeHTTP(rec, req)
+	return rec.Result(), nil
+}

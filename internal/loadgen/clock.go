@@ -1,0 +1,60 @@
+// Package loadgen replays a traffic profile (core.Profile) against a live
+// mlbenchd at a configurable time-compression factor and records a
+// per-bucket serving timeline — issued/completed counts, status classes,
+// latency percentiles, and the queue/worker/cache gauges scraped from
+// /v1/metrics — plus SLO verdicts. The driver is single-threaded and
+// clock-injected: under a FakeClock against the deterministic FakeServer
+// the same profile produces byte-identical CSV and summary output, which
+// is what lets the serving-SLO battery run as ordinary unit tests in
+// milliseconds. See `mlbench load` for the CLI.
+package loadgen
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts wall time so the driver replays profiles in real time
+// in production and instantly in tests.
+type Clock interface {
+	Now() time.Time
+	// Sleep blocks until d has elapsed (or returns immediately on a fake
+	// clock, advancing virtual time).
+	Sleep(d time.Duration)
+}
+
+// WallClock is the real time.Now/time.Sleep clock.
+type WallClock struct{}
+
+func (WallClock) Now() time.Time        { return time.Now() }
+func (WallClock) Sleep(d time.Duration) { time.Sleep(d) }
+
+// FakeClock is a deterministic clock: Sleep advances Now instantly. It is
+// mutex-guarded so server-side goroutines may read Now concurrently with
+// the driver sleeping, but the driver is the only writer — time moves
+// only when the single-threaded replay loop sleeps, which is what makes
+// replays reproducible.
+type FakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// NewFakeClock starts a fake clock at the given instant.
+func NewFakeClock(start time.Time) *FakeClock {
+	return &FakeClock{now: start}
+}
+
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *FakeClock) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}

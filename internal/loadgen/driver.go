@@ -1,0 +1,555 @@
+package loadgen
+
+import (
+	"bytes"
+	"container/heap"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+
+	"mlbench/internal/core"
+	"mlbench/internal/serve"
+)
+
+// Options wires a replay to a server and a clock.
+type Options struct {
+	// BaseURL is the mlbenchd root, e.g. http://127.0.0.1:8080.
+	BaseURL string
+	// Client performs the HTTP requests (default http.DefaultClient; see
+	// HandlerClient for the in-process test transport).
+	Client *http.Client
+	// Clock drives the replay (default WallClock; tests inject FakeClock).
+	Clock Clock
+	// Compression overrides the profile's time-compression factor (0 =
+	// use the profile's).
+	Compression float64
+	// Seed overrides the profile's schedule seed (0 = use the profile's).
+	Seed uint64
+	// PollIntervalSec is the completion/metrics poll cadence in profile
+	// seconds (0 = bucket_sec/4, which guarantees every bucket at least
+	// one gauge scrape).
+	PollIntervalSec float64
+	// DisableRetry stops the driver from honoring Retry-After on 429.
+	DisableRetry bool
+	// MaxAttempts bounds attempts per request including the first
+	// (default 3).
+	MaxAttempts int
+	// Log, when non-nil, narrates the replay.
+	Log func(format string, args ...any)
+}
+
+// Result is a finished replay: the per-bucket timeline and the aggregate
+// summary with SLO verdicts.
+type Result struct {
+	Buckets []Bucket
+	Summary Summary
+}
+
+// Action kinds, in tie-break order within one instant.
+const (
+	kindArrive = iota
+	kindRetry
+	kindEvent
+	kindPoll
+	kindEnd
+)
+
+// action is one heap entry of the replay's discrete-event loop.
+type action struct {
+	at   float64 // virtual (profile) seconds from replay start
+	seq  int     // FIFO tie-break within an instant
+	kind int
+	req  *request
+	ev   core.ScheduledEvent
+}
+
+type actionHeap []*action
+
+func (h actionHeap) Len() int { return len(h) }
+func (h actionHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h actionHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *actionHeap) Push(x any)   { *h = append(*h, x.(*action)) }
+func (h *actionHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// request is one profile arrival's lifecycle across attempts.
+type request struct {
+	spec       core.RunSpec
+	bucket     int // issue bucket: latency/completion attribution
+	attempts   int
+	firstIssue time.Time
+	lastIssue  time.Time
+	done       bool
+}
+
+// driver holds the single-goroutine replay state. Nothing here is
+// concurrent: all HTTP calls are synchronous and time moves only in
+// sleepUntil, which is what makes a FakeClock replay fully deterministic.
+type driver struct {
+	p      core.Profile
+	opts   Options
+	clock  Clock
+	client *http.Client
+	comp   float64
+	start  time.Time
+	end    float64 // virtual end: total duration + grace
+
+	h   actionHeap
+	seq int
+
+	buckets []Bucket
+	pending map[string][]*request
+
+	firstScraped             bool
+	firstHits, firstMisses   int64
+	lastHits, lastMisses     int64
+	bucketHits, bucketMisses int64 // scrape deltas within the current gauge bucket
+	gaugeBucket              int
+
+	sum       Summary
+	penaltyMs float64
+}
+
+// Run replays the profile against the server and returns the timeline
+// and summary. The profile is normalized and validated first; the server
+// must be reachable (the initial /v1/metrics scrape is the health check).
+func Run(p core.Profile, opts Options) (*Result, error) {
+	p = p.Normalize()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.BaseURL == "" {
+		return nil, fmt.Errorf("loadgen: Options.BaseURL is required")
+	}
+	if opts.Compression > 0 {
+		p.Compression = opts.Compression
+	}
+	if opts.Seed != 0 {
+		p.Seed = opts.Seed
+	}
+	if opts.MaxAttempts <= 0 {
+		opts.MaxAttempts = 3
+	}
+	if opts.PollIntervalSec <= 0 {
+		opts.PollIntervalSec = p.BucketSec / 4
+	}
+	d := &driver{
+		p:       p,
+		opts:    opts,
+		clock:   opts.Clock,
+		client:  opts.Client,
+		comp:    p.Compression,
+		end:     p.TotalDurationSec() + p.GraceSec,
+		pending: map[string][]*request{},
+	}
+	if d.clock == nil {
+		d.clock = WallClock{}
+	}
+	if d.client == nil {
+		d.client = http.DefaultClient
+	}
+	nb := int(math.Ceil(d.end / p.BucketSec))
+	if nb < 1 {
+		nb = 1
+	}
+	d.buckets = make([]Bucket, nb)
+	for i := range d.buckets {
+		d.buckets[i] = Bucket{Index: i, StartSec: float64(i) * p.BucketSec, Events: []string{}}
+	}
+	return d.run()
+}
+
+func (d *driver) logf(format string, args ...any) {
+	if d.opts.Log != nil {
+		d.opts.Log(format, args...)
+	}
+}
+
+// bucketOf maps a virtual offset to its timeline row (clamped).
+func (d *driver) bucketOf(virtSec float64) *Bucket {
+	i := int(virtSec / d.p.BucketSec)
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(d.buckets) {
+		i = len(d.buckets) - 1
+	}
+	return &d.buckets[i]
+}
+
+// vnow is the current virtual offset in profile seconds.
+func (d *driver) vnow() float64 {
+	return d.clock.Now().Sub(d.start).Seconds() * d.comp
+}
+
+// sleepUntil blocks (real or fake) until the virtual offset is reached.
+func (d *driver) sleepUntil(virtSec float64) {
+	target := d.start.Add(time.Duration(virtSec / d.comp * float64(time.Second)))
+	if delta := target.Sub(d.clock.Now()); delta > 0 {
+		d.clock.Sleep(delta)
+	}
+}
+
+func (d *driver) push(a *action) {
+	a.seq = d.seq
+	d.seq++
+	heap.Push(&d.h, a)
+}
+
+func (d *driver) run() (*Result, error) {
+	// The initial scrape doubles as the connectivity check and anchors the
+	// cache-hit-rate deltas.
+	m, err := d.scrapeMetrics()
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: initial scrape of %s: %w", d.opts.BaseURL, err)
+	}
+	d.firstScraped = true
+	d.firstHits, d.firstMisses = m.CacheHits, m.CacheMisses
+	d.lastHits, d.lastMisses = m.CacheHits, m.CacheMisses
+	d.sum.MinWorkers, d.sum.MaxWorkers = m.Workers, m.Workers
+
+	arrivals := Schedule(d.p)
+	d.logf("loadgen: replaying %s: %d arrivals over %.0fs profile time at %gx (%.1fs wall)",
+		d.p.Name, len(arrivals), d.p.TotalDurationSec(), d.comp, d.end/d.comp)
+	d.start = d.clock.Now()
+	for i := range arrivals {
+		a := arrivals[i]
+		spec := d.p.Templates[a.Template].Spec
+		if a.Seed != 0 {
+			spec.Seed = a.Seed
+		}
+		d.push(&action{at: a.AtSec, kind: kindArrive, req: &request{
+			spec:   spec,
+			bucket: int(a.AtSec / d.p.BucketSec),
+		}})
+	}
+	for _, ev := range d.p.Events {
+		d.push(&action{at: ev.AtSec, kind: kindEvent, ev: ev})
+	}
+	d.push(&action{at: d.opts.PollIntervalSec, kind: kindPoll})
+	d.push(&action{at: d.end, kind: kindEnd})
+
+	for d.h.Len() > 0 {
+		a := heap.Pop(&d.h).(*action)
+		if a.at > d.end {
+			continue // e.g. a Retry-After landing past the replay window
+		}
+		d.sleepUntil(a.at)
+		switch a.kind {
+		case kindArrive, kindRetry:
+			d.issue(a.req)
+		case kindEvent:
+			d.fireEvent(a.ev)
+		case kindPoll:
+			d.pollOnce()
+			if next := a.at + d.opts.PollIntervalSec; next < d.end {
+				d.push(&action{at: next, kind: kindPoll})
+			}
+		case kindEnd:
+			d.pollOnce()
+			d.foldScaleEvents()
+			return d.finish(), nil
+		}
+	}
+	return nil, fmt.Errorf("loadgen: replay ended without reaching the end marker")
+}
+
+// issue performs one POST /v1/runs attempt for the request.
+func (d *driver) issue(r *request) {
+	now := d.clock.Now()
+	cur := d.bucketOf(d.vnow())
+	r.attempts++
+	if r.attempts == 1 {
+		r.firstIssue = now
+		cur.Issued++
+	} else {
+		cur.Retries++
+	}
+	r.lastIssue = now
+
+	body, err := json.Marshal(r.spec)
+	if err != nil {
+		cur.Errors++
+		return
+	}
+	resp, err := d.client.Post(d.opts.BaseURL+"/v1/runs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		cur.Errors++
+		d.logf("loadgen: submit: %v", err)
+		return
+	}
+	var sub struct {
+		ID     string `json:"id"`
+		State  string `json:"state"`
+		Cached bool   `json:"cached"`
+		Error  string `json:"error"`
+	}
+	derr := json.NewDecoder(resp.Body).Decode(&sub)
+	resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusAccepted:
+		if derr != nil || sub.ID == "" {
+			cur.Errors++
+			return
+		}
+		if sub.Cached {
+			d.complete(r, true)
+			return
+		}
+		d.pending[sub.ID] = append(d.pending[sub.ID], r)
+	case resp.StatusCode == http.StatusTooManyRequests:
+		cur.Rejected429++
+		if d.opts.DisableRetry || r.attempts >= d.opts.MaxAttempts {
+			return
+		}
+		// Retry-After is wall seconds: honoring it means waiting that long
+		// on the wall clock, i.e. RA*compression profile seconds.
+		ra := 1.0
+		if v, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && v >= 0 {
+			ra = float64(v)
+		}
+		d.push(&action{at: d.vnow() + ra*d.comp, kind: kindRetry, req: r})
+	case resp.StatusCode == http.StatusServiceUnavailable:
+		cur.Unavail503++
+	default:
+		cur.Errors++
+		d.logf("loadgen: submit: HTTP %d %s", resp.StatusCode, sub.Error)
+	}
+}
+
+// complete records a finished request in its issue bucket: the latency is
+// the last attempt's wall time, while the wait added by earlier rejected
+// attempts is accounted as retry penalty so backpressure cost stays
+// visible instead of blurring the percentiles.
+func (d *driver) complete(r *request, cached bool) {
+	if r.done {
+		return
+	}
+	r.done = true
+	b := &d.buckets[min(r.bucket, len(d.buckets)-1)]
+	b.Completed++
+	if cached {
+		b.CacheHits++
+	}
+	b.latencies = append(b.latencies, d.clock.Now().Sub(r.lastIssue).Seconds()*1000)
+	if r.attempts > 1 {
+		d.sum.RetrySucceeded++
+		d.penaltyMs += r.lastIssue.Sub(r.firstIssue).Seconds() * 1000
+	}
+}
+
+// fireEvent performs a scheduled event and annotates the timeline.
+func (d *driver) fireEvent(ev core.ScheduledEvent) {
+	b := d.bucketOf(ev.AtSec)
+	b.Events = append(b.Events, ev.Label)
+	var err error
+	switch ev.Action {
+	case core.EventCacheFlush:
+		err = d.post("/v1/cache/flush")
+	case core.EventDrain:
+		err = d.post("/v1/drain")
+	case core.EventMark:
+	}
+	if err != nil {
+		d.logf("loadgen: event %s: %v", ev.Label, err)
+	}
+	d.logf("loadgen: event %s at %.0fs", ev.Label, ev.AtSec)
+}
+
+func (d *driver) post(path string) error {
+	resp, err := d.client.Post(d.opts.BaseURL+path, "application/json", nil)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("HTTP %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// pollOnce scrapes the gauges and sweeps pending runs for completions.
+func (d *driver) pollOnce() {
+	if m, err := d.scrapeMetrics(); err == nil {
+		d.recordGauges(m)
+	} else {
+		d.logf("loadgen: metrics scrape: %v", err)
+	}
+	d.sweepRuns()
+}
+
+func (d *driver) scrapeMetrics() (*serve.Metrics, error) {
+	resp, err := d.client.Get(d.opts.BaseURL + "/v1/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var m serve.Metrics
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// recordGauges folds one metrics scrape into the bucket covering the
+// current virtual offset. The cache hit rate is computed from hit/miss
+// deltas accumulated while the gauge cursor sits in the bucket.
+func (d *driver) recordGauges(m *serve.Metrics) {
+	b := d.bucketOf(d.vnow())
+	if b.Index != d.gaugeBucket {
+		d.bucketHits, d.bucketMisses = 0, 0
+		d.gaugeBucket = b.Index
+	}
+	d.bucketHits += m.CacheHits - d.lastHits
+	d.bucketMisses += m.CacheMisses - d.lastMisses
+	d.lastHits, d.lastMisses = m.CacheHits, m.CacheMisses
+	b.QueueDepth = m.QueueDepth
+	b.Workers = m.Workers
+	b.WorkersBusy = m.WorkersBusy
+	if tot := d.bucketHits + d.bucketMisses; tot > 0 {
+		b.CacheHitRate = float64(d.bucketHits) / float64(tot)
+	}
+	if m.QueueDepth > d.sum.MaxQueueDepth {
+		d.sum.MaxQueueDepth = m.QueueDepth
+	}
+	if m.Workers < d.sum.MinWorkers {
+		d.sum.MinWorkers = m.Workers
+	}
+	if m.Workers > d.sum.MaxWorkers {
+		d.sum.MaxWorkers = m.Workers
+	}
+	d.sum.ScaleUps = int(m.ScaleUps)
+	d.sum.ScaleDowns = int(m.ScaleDowns)
+}
+
+// sweepRuns lists the server's runs and completes every pending request
+// whose job reached a terminal state.
+func (d *driver) sweepRuns() {
+	if len(d.pending) == 0 {
+		return
+	}
+	resp, err := d.client.Get(d.opts.BaseURL + "/v1/runs")
+	if err != nil {
+		d.logf("loadgen: list runs: %v", err)
+		return
+	}
+	var list struct {
+		Runs []struct {
+			ID    string `json:"id"`
+			State string `json:"state"`
+		} `json:"runs"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&list)
+	resp.Body.Close()
+	if err != nil {
+		d.logf("loadgen: list runs: %v", err)
+		return
+	}
+	for _, run := range list.Runs {
+		reqs, ok := d.pending[run.ID]
+		if !ok {
+			continue
+		}
+		switch run.State {
+		case "done":
+			for _, r := range reqs {
+				d.complete(r, false)
+			}
+		case "failed", "canceled":
+			for _, r := range reqs {
+				if !r.done {
+					r.done = true
+					d.buckets[min(r.bucket, len(d.buckets)-1)].Failed++
+				}
+			}
+		default:
+			continue // still queued/running
+		}
+		delete(d.pending, run.ID)
+	}
+}
+
+// foldScaleEvents annotates the timeline with the server's applied
+// scaling decisions (GET /v1/autoscaler), mapped from wall timestamps
+// back to virtual offsets.
+func (d *driver) foldScaleEvents() {
+	resp, err := d.client.Get(d.opts.BaseURL + "/v1/autoscaler")
+	if err != nil {
+		d.logf("loadgen: autoscaler: %v", err)
+		return
+	}
+	var as struct {
+		Enabled bool               `json:"enabled"`
+		Events  []serve.ScaleEvent `json:"events"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&as)
+	resp.Body.Close()
+	if err != nil || !as.Enabled {
+		return
+	}
+	for _, ev := range as.Events {
+		virt := ev.At.Sub(d.start).Seconds() * d.comp
+		if virt < 0 {
+			continue // before this replay started
+		}
+		b := d.bucketOf(virt)
+		b.Events = append(b.Events, fmt.Sprintf("scale:%d->%d", ev.From, ev.To))
+	}
+}
+
+// finish freezes percentiles, sums the timeline into the summary, and
+// evaluates the SLO.
+func (d *driver) finish() *Result {
+	var all []float64
+	for i := range d.buckets {
+		b := &d.buckets[i]
+		b.finish()
+		all = append(all, b.latencies...)
+		d.sum.Issued += b.Issued
+		d.sum.Completed += b.Completed
+		d.sum.Failed += b.Failed
+		d.sum.Rejected429 += b.Rejected429
+		d.sum.Unavail503 += b.Unavail503
+		d.sum.Errors += b.Errors
+		d.sum.Retries += b.Retries
+		d.sum.CacheHits += b.CacheHits
+	}
+	d.sum.Profile = d.p.Name
+	d.sum.Compression = d.comp
+	d.sum.DurationSec = d.p.TotalDurationSec()
+	d.sum.P50Ms = percentile(all, 50)
+	d.sum.P95Ms = percentile(all, 95)
+	d.sum.P99Ms = percentile(all, 99)
+	d.sum.RetryPenaltyMs = d.penaltyMs
+	hits := d.lastHits - d.firstHits
+	misses := d.lastMisses - d.firstMisses
+	if tot := hits + misses; tot > 0 {
+		d.sum.CacheHitRate = float64(hits) / float64(tot)
+	}
+	EvaluateSLO(d.p.SLO, &d.sum)
+	d.logf("loadgen: done: issued %d, completed %d, 429 %d, 503 %d, p99 %.1fms, pass=%v",
+		d.sum.Issued, d.sum.Completed, d.sum.Rejected429, d.sum.Unavail503, d.sum.P99Ms, d.sum.Pass)
+	return &Result{Buckets: d.buckets, Summary: d.sum}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

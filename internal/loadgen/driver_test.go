@@ -1,0 +1,166 @@
+package loadgen
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"mlbench/internal/serve"
+)
+
+var update = flag.Bool("update", false, "rewrite the loadgen golden files")
+
+// goldenReplay runs the checked-in example profile once on a fresh fake
+// clock + fake autoscaling server and returns the result plus the
+// rendered CSV and summary bytes.
+func goldenReplay(t *testing.T) (*Result, []byte, []byte) {
+	t.Helper()
+	p, err := LoadProfile(filepath.Join("..", "..", "profiles", "ramp-burst-drain.yaml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := NewFakeClock(time.Unix(1_700_000_000, 0))
+	fs := NewFakeServer(clock, FakeServerConfig{
+		QueueDepth:    10,
+		RetryAfterSec: 1,
+		ServiceTime:   10 * time.Millisecond, // 1 profile second at 100x
+		Autoscale: &serve.AutoscaleConfig{
+			Min: 1, Max: 6,
+			Interval: 100 * time.Millisecond, // 10 profile seconds
+			Cooldown: 200 * time.Millisecond,
+		},
+	})
+	res, err := Run(p, Options{
+		BaseURL: "http://fake",
+		Client:  HandlerClient(fs.Handler()),
+		Clock:   clock,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var csv, sum bytes.Buffer
+	if err := WriteCSV(&csv, res.Buckets); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSummary(&sum, &res.Summary); err != nil {
+		t.Fatal(err)
+	}
+	return res, csv.Bytes(), sum.Bytes()
+}
+
+// TestGoldenRampBurstDrain is the acceptance e2e: the example profile at
+// 100x compression on the fake clock produces a byte-stable timeline
+// whose p99 latency, 429 rate, autoscaler worker trace, and per-bucket
+// request counts are pinned by golden files.
+func TestGoldenRampBurstDrain(t *testing.T) {
+	res, csv, sum := goldenReplay(t)
+
+	// Byte-stable: a second fresh replay renders the identical files.
+	_, csv2, sum2 := goldenReplay(t)
+	if !bytes.Equal(csv, csv2) {
+		t.Fatalf("timeline CSV differs between two identical replays:\n--- first\n%s\n--- second\n%s", csv, csv2)
+	}
+	if !bytes.Equal(sum, sum2) {
+		t.Fatalf("summary differs between two identical replays:\n--- first\n%s\n--- second\n%s", sum, sum2)
+	}
+
+	csvGolden := filepath.Join("testdata", "ramp-burst-drain.csv")
+	sumGolden := filepath.Join("testdata", "ramp-burst-drain.summary.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(csvGolden, csv, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(sumGolden, sum, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantCSV, err := os.ReadFile(csvGolden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	wantSum, err := os.ReadFile(sumGolden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(csv, wantCSV) {
+		t.Errorf("timeline CSV drifted from golden (run with -update if intended):\n--- got\n%s\n--- want\n%s", csv, wantCSV)
+	}
+	if !bytes.Equal(sum, wantSum) {
+		t.Errorf("summary drifted from golden (run with -update if intended):\n--- got\n%s\n--- want\n%s", sum, wantSum)
+	}
+
+	// Zero dropped rows: the timeline covers every bucket of the replay
+	// window (150s of phases + 30s grace at 10s buckets).
+	if len(res.Buckets) != 18 {
+		t.Fatalf("bucket rows = %d, want 18", len(res.Buckets))
+	}
+	for i, b := range res.Buckets {
+		if b.Index != i {
+			t.Fatalf("bucket %d has index %d (dropped row?)", i, b.Index)
+		}
+	}
+
+	// Deterministic per-bucket request counts: every scheduled arrival is
+	// issued exactly once, in its own bucket.
+	p, err := LoadProfile(filepath.Join("..", "..", "profiles", "ramp-burst-drain.yaml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPerBucket := make([]int, len(res.Buckets))
+	arrivals := Schedule(p)
+	for _, a := range arrivals {
+		wantPerBucket[int(a.AtSec/p.BucketSec)]++
+	}
+	for i, b := range res.Buckets {
+		if b.Issued != wantPerBucket[i] {
+			t.Errorf("bucket %d issued = %d, want %d", i, b.Issued, wantPerBucket[i])
+		}
+	}
+	if res.Summary.Issued != len(arrivals) {
+		t.Fatalf("issued = %d, want the full schedule %d", res.Summary.Issued, len(arrivals))
+	}
+
+	// The battery's behavioral spine: the bursts trip backpressure, the
+	// drain event produces a 503 tail, the cache serves the hot template,
+	// the autoscaler grows the pool, and the SLO passes.
+	s := res.Summary
+	if s.Rejected429 == 0 {
+		t.Error("bursts produced no 429s")
+	}
+	if s.Unavail503 == 0 {
+		t.Error("drain event produced no 503 tail")
+	}
+	if s.CacheHits == 0 {
+		t.Error("hot template produced no cache hits")
+	}
+	if s.P99Ms <= 0 || s.P99Ms < s.P50Ms {
+		t.Errorf("implausible latency percentiles: p50 %.3f p99 %.3f", s.P50Ms, s.P99Ms)
+	}
+	if s.ScaleUps == 0 {
+		t.Error("autoscaler never scaled up under the ramp")
+	}
+	if s.MaxWorkers <= s.MinWorkers {
+		t.Errorf("worker trace flat: min %d max %d", s.MinWorkers, s.MaxWorkers)
+	}
+	if !s.Pass {
+		t.Errorf("SLO verdicts failed: %+v", s.Verdicts)
+	}
+
+	// The worker-count trace is visible per bucket and reaches the
+	// summary's max during the load plateau.
+	var maxWorkers int
+	for _, b := range res.Buckets {
+		if b.Workers > maxWorkers {
+			maxWorkers = b.Workers
+		}
+	}
+	if maxWorkers != s.MaxWorkers {
+		t.Errorf("bucket worker trace max %d != summary max %d", maxWorkers, s.MaxWorkers)
+	}
+}

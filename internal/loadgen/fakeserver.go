@@ -1,0 +1,315 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"mlbench/internal/core"
+	"mlbench/internal/serve"
+)
+
+// FakeServerConfig shapes the deterministic server model.
+type FakeServerConfig struct {
+	// Workers is the fixed pool size (ignored when Autoscale is set, which
+	// starts the pool at Autoscale.Min).
+	Workers int
+	// QueueDepth bounds accepted-but-not-started jobs; beyond it
+	// submissions get 429.
+	QueueDepth int
+	// RetryAfterSec is the Retry-After header on 429s (wall seconds,
+	// default 1).
+	RetryAfterSec int
+	// ServiceTime is the wall duration one fresh run takes (default
+	// 10ms).
+	ServiceTime time.Duration
+	// Autoscale enables the elastic pool, driven by the same
+	// serve.Autoscaler policy the real server uses.
+	Autoscale *serve.AutoscaleConfig
+}
+
+// FakeServer is a discrete-event model of mlbenchd for deterministic
+// load-driver tests: it speaks the same HTTP surface (POST/GET /v1/runs,
+// /v1/metrics, /v1/cache/flush, /v1/drain, /v1/autoscaler) but all state
+// transitions happen synchronously inside request handling — a job
+// "finishes" when the injected clock passes its start plus ServiceTime,
+// evaluated lazily on the next request. No goroutines, no sockets (pair
+// it with HandlerClient), so a FakeClock replay is byte-reproducible;
+// crucially it reuses the production serve.Autoscaler policy, making the
+// golden worker-count trace a real test of the shipping scaling logic.
+type FakeServer struct {
+	clock Clock
+	cfg   FakeServerConfig
+	mux   *http.ServeMux
+
+	mu          sync.Mutex
+	nextID      int
+	jobs        map[string]*fakeJob
+	order       []string
+	byKey       map[string]*fakeJob
+	queue       []*fakeJob
+	running     []*fakeJob
+	workers     int
+	scaler      *serve.Autoscaler
+	scaleEvents []serve.ScaleEvent
+	nextTick    time.Time
+	draining    bool
+	m           serve.Metrics
+}
+
+type fakeJob struct {
+	id, key  string
+	state    string // queued | running | done
+	finishAt time.Time
+}
+
+// NewFakeServer builds the model on the given clock.
+func NewFakeServer(clock Clock, cfg FakeServerConfig) *FakeServer {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 16
+	}
+	if cfg.RetryAfterSec <= 0 {
+		cfg.RetryAfterSec = 1
+	}
+	if cfg.ServiceTime <= 0 {
+		cfg.ServiceTime = 10 * time.Millisecond
+	}
+	s := &FakeServer{
+		clock: clock,
+		cfg:   cfg,
+		jobs:  map[string]*fakeJob{},
+		byKey: map[string]*fakeJob{},
+	}
+	s.workers = cfg.Workers
+	if cfg.Autoscale != nil {
+		s.scaler = serve.NewAutoscaler(*cfg.Autoscale)
+		s.workers = s.scaler.Config().Min
+		s.nextTick = clock.Now().Add(s.scaler.Config().Interval)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/runs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/runs", s.handleList)
+	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/autoscaler", s.handleAutoscaler)
+	mux.HandleFunc("POST /v1/cache/flush", s.handleFlush)
+	mux.HandleFunc("POST /v1/drain", s.handleDrain)
+	s.mux = mux
+	return s
+}
+
+// Handler is the model's HTTP surface.
+func (s *FakeServer) Handler() http.Handler { return s.mux }
+
+// advance replays every completion and autoscaler tick up to now, in
+// event-time order — the discrete-event core that stands in for the real
+// server's goroutines. Caller holds s.mu.
+func (s *FakeServer) advance(now time.Time) {
+	for {
+		// Next completion among running jobs.
+		var finish *fakeJob
+		for _, j := range s.running {
+			if finish == nil || j.finishAt.Before(finish.finishAt) {
+				finish = j
+			}
+		}
+		tickDue := s.scaler != nil && !s.nextTick.After(now)
+		finishDue := finish != nil && !finish.finishAt.After(now)
+		switch {
+		case finishDue && (!tickDue || !s.nextTick.Before(finish.finishAt)):
+			s.finishJob(finish)
+		case tickDue:
+			s.tick(s.nextTick)
+			s.nextTick = s.nextTick.Add(s.scaler.Config().Interval)
+		default:
+			return
+		}
+	}
+}
+
+// finishJob completes one running job at its finish time and promotes
+// queued work into the freed capacity.
+func (s *FakeServer) finishJob(done *fakeJob) {
+	at := done.finishAt
+	for i, j := range s.running {
+		if j == done {
+			s.running = append(s.running[:i], s.running[i+1:]...)
+			break
+		}
+	}
+	done.state = "done"
+	s.m.Completed++
+	for len(s.running) < s.workers && len(s.queue) > 0 {
+		next := s.queue[0]
+		s.queue = s.queue[1:]
+		next.state = "running"
+		next.finishAt = at.Add(s.cfg.ServiceTime)
+		s.running = append(s.running, next)
+	}
+}
+
+// tick feeds the autoscaler one sample; scale-downs never preempt running
+// jobs (the effective capacity just shrinks for future promotions),
+// matching the real server's retire-between-jobs rule.
+func (s *FakeServer) tick(at time.Time) {
+	sample := serve.LoadSample{Queue: len(s.queue), Busy: len(s.running), Workers: s.workers}
+	target, reason := s.scaler.Decide(at, sample)
+	if target == s.workers {
+		return
+	}
+	if target > s.workers {
+		s.m.ScaleUps++
+	} else {
+		s.m.ScaleDowns++
+	}
+	s.scaleEvents = append(s.scaleEvents, serve.ScaleEvent{At: at, From: s.workers, To: target, Reason: reason})
+	s.workers = target
+	for len(s.running) < s.workers && len(s.queue) > 0 {
+		next := s.queue[0]
+		s.queue = s.queue[1:]
+		next.state = "running"
+		next.finishAt = at.Add(s.cfg.ServiceTime)
+		s.running = append(s.running, next)
+	}
+}
+
+func (s *FakeServer) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, _ := io.ReadAll(r.Body)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.clock.Now()
+	s.advance(now)
+	if s.draining {
+		fakeJSON(w, http.StatusServiceUnavailable, map[string]any{"error": "serve: draining"})
+		return
+	}
+	spec, err := core.ParseRunSpec(body)
+	if err != nil {
+		fakeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()})
+		return
+	}
+	spec = spec.Normalize()
+	if err := spec.Validate(); err != nil {
+		fakeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()})
+		return
+	}
+	key := spec.CacheKey()
+	if j := s.byKey[key]; j != nil {
+		if j.state == "done" {
+			s.m.CacheHits++
+			fakeJSON(w, http.StatusOK, map[string]any{"id": j.id, "state": j.state, "coalesced": false, "cached": true})
+		} else {
+			s.m.Coalesced++
+			fakeJSON(w, http.StatusAccepted, map[string]any{"id": j.id, "state": j.state, "coalesced": true, "cached": false})
+		}
+		return
+	}
+	if len(s.queue) >= s.cfg.QueueDepth {
+		s.m.Rejected++
+		w.Header().Set("Retry-After", strconv.Itoa(s.cfg.RetryAfterSec))
+		fakeJSON(w, http.StatusTooManyRequests, map[string]any{"error": "serve: queue full"})
+		return
+	}
+	s.nextID++
+	j := &fakeJob{id: fmt.Sprintf("r%d", s.nextID), key: key, state: "queued"}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.byKey[key] = j
+	s.m.Submitted++
+	s.m.CacheMisses++
+	if len(s.running) < s.workers {
+		j.state = "running"
+		j.finishAt = now.Add(s.cfg.ServiceTime)
+		s.running = append(s.running, j)
+	} else {
+		s.queue = append(s.queue, j)
+	}
+	fakeJSON(w, http.StatusAccepted, map[string]any{"id": j.id, "state": j.state, "coalesced": false, "cached": false})
+}
+
+func (s *FakeServer) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.advance(s.clock.Now())
+	runs := make([]map[string]any, 0, len(s.order))
+	for _, id := range s.order {
+		j := s.jobs[id]
+		runs = append(runs, map[string]any{"id": j.id, "state": j.state})
+	}
+	fakeJSON(w, http.StatusOK, map[string]any{"runs": runs})
+}
+
+func (s *FakeServer) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.advance(s.clock.Now())
+	m := s.m
+	m.Running = len(s.running)
+	m.QueueDepth = len(s.queue)
+	m.QueueCap = s.cfg.QueueDepth
+	m.Workers = s.workers
+	m.WorkersBusy = len(s.running)
+	if s.scaler != nil {
+		m.WorkersMin = s.scaler.Config().Min
+		m.WorkersMax = s.scaler.Config().Max
+	} else {
+		m.WorkersMin = s.cfg.Workers
+		m.WorkersMax = s.cfg.Workers
+	}
+	m.Jobs = len(s.jobs)
+	m.Draining = s.draining
+	fakeJSON(w, http.StatusOK, m)
+}
+
+func (s *FakeServer) handleAutoscaler(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.advance(s.clock.Now())
+	resp := map[string]any{"enabled": s.scaler != nil, "events": s.scaleEvents}
+	if s.scaler != nil {
+		resp["config"] = s.scaler.Config()
+	}
+	fakeJSON(w, http.StatusOK, resp)
+}
+
+func (s *FakeServer) handleFlush(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.advance(s.clock.Now())
+	n := 0
+	kept := s.order[:0]
+	for _, id := range s.order {
+		j := s.jobs[id]
+		if j.state == "done" {
+			n++
+			delete(s.jobs, id)
+			if s.byKey[j.key] == j {
+				delete(s.byKey, j.key)
+			}
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+	fakeJSON(w, http.StatusOK, map[string]any{"flushed": n})
+}
+
+func (s *FakeServer) handleDrain(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.advance(s.clock.Now())
+	s.draining = true
+	fakeJSON(w, http.StatusOK, map[string]any{"draining": true})
+}
+
+func fakeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,71 @@
+package loadgen
+
+import (
+	"mlbench/internal/core"
+	"mlbench/internal/randgen"
+)
+
+// Arrival is one scheduled request: a profile offset and the template it
+// draws.
+type Arrival struct {
+	// AtSec is the arrival offset in profile seconds from replay start.
+	AtSec float64
+	// Template indexes Profile.Templates.
+	Template int
+	// Seed is the substituted per-request seed when the template sets
+	// unique_seed (0 = use the template spec's own seed).
+	Seed uint64
+}
+
+// Schedule expands a normalized profile into its deterministic arrival
+// list: the phase rate functions are numerically integrated (the emitted
+// count over any interval matches the integral of λ within one request)
+// and each arrival draws a template from the weighted mix with the
+// profile's seeded RNG. The same profile and seed always produce the
+// identical schedule — the foundation of the replay's reproducibility.
+func Schedule(p core.Profile) []Arrival {
+	rng := randgen.New(p.Seed)
+	var total float64
+	for _, t := range p.Templates {
+		total += t.Weight
+	}
+	// Integration step: fine enough that ramps and short bursts land in
+	// the right bucket, floored so pathological bucket sizes stay cheap.
+	dt := p.BucketSec / 16
+	if dt < 1e-3 {
+		dt = 1e-3
+	}
+	var out []Arrival
+	var phaseStart float64
+	for _, ph := range p.Phases {
+		acc := 0.0
+		for t := 0.0; t < ph.DurationSec; t += dt {
+			step := dt
+			if rem := ph.DurationSec - t; rem < step {
+				step = rem
+			}
+			// Midpoint rule: exact for linear ramps, second-order for the
+			// smooth patterns — the emitted count over any window matches
+			// the integral of λ within one request.
+			acc += ph.Rate(t+step/2) * step
+			for acc >= 1 {
+				acc--
+				a := Arrival{AtSec: phaseStart + t}
+				pick := rng.Float64() * total
+				for i, tmpl := range p.Templates {
+					pick -= tmpl.Weight
+					if pick < 0 || i == len(p.Templates)-1 {
+						a.Template = i
+						if tmpl.UniqueSeed {
+							a.Seed = rng.Uint64() | 1 // never 0: 0 means "unset"
+						}
+						break
+					}
+				}
+				out = append(out, a)
+			}
+		}
+		phaseStart += ph.DurationSec
+	}
+	return out
+}

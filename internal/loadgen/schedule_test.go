@@ -1,0 +1,91 @@
+package loadgen
+
+import (
+	"reflect"
+	"testing"
+
+	"mlbench/internal/core"
+)
+
+func scheduleProfile(phases []core.Phase) core.Profile {
+	return core.Profile{
+		Name: "s",
+		Templates: []core.Template{
+			{Name: "a", Weight: 1, Spec: core.RunSpec{Figure: "fig1a"}},
+			{Name: "b", Weight: 3, UniqueSeed: true, Spec: core.RunSpec{Figure: "fig1b"}},
+		},
+		Phases: phases,
+	}.Normalize()
+}
+
+func TestScheduleCountsMatchRateIntegral(t *testing.T) {
+	cases := []struct {
+		name  string
+		phase core.Phase
+		want  int // integral of λ over the phase
+	}{
+		{"constant", core.Phase{Name: "c", DurationSec: 30, RPS: 2}, 60},
+		{"ramp", core.Phase{Name: "r", DurationSec: 60, Pattern: core.PatternRamp, RPS: 0, ToRPS: 10}, 300},
+		{"burst", core.Phase{Name: "b", DurationSec: 40, Pattern: core.PatternBurst,
+			RPS: 1, BurstRPS: 6, BurstEverySec: 20, BurstLenSec: 5}, 90}, // 30*1 + 10*6
+		{"diurnal", core.Phase{Name: "d", DurationSec: 40, Pattern: core.PatternDiurnal,
+			RPS: 1, PeakRPS: 5, PeriodSec: 20}, 120}, // mean (1+5)/2 over full periods
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := len(Schedule(scheduleProfile([]core.Phase{tc.phase})))
+			// The discrete integrator carries at most one request of
+			// rounding per phase.
+			if got < tc.want-1 || got > tc.want+1 {
+				t.Fatalf("arrivals = %d, want %d±1", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestScheduleDeterministicAndOrdered(t *testing.T) {
+	p := scheduleProfile([]core.Phase{
+		{Name: "r", DurationSec: 30, Pattern: core.PatternRamp, RPS: 1, ToRPS: 5},
+		{Name: "c", DurationSec: 30, RPS: 2},
+	})
+	s1 := Schedule(p)
+	s2 := Schedule(p)
+	if !reflect.DeepEqual(s1, s2) {
+		t.Fatal("same profile produced two different schedules")
+	}
+	var sawUnique bool
+	for i, a := range s1 {
+		if i > 0 && a.AtSec < s1[i-1].AtSec {
+			t.Fatalf("arrivals out of order at %d: %g < %g", i, a.AtSec, s1[i-1].AtSec)
+		}
+		if a.AtSec < 0 || a.AtSec >= 60 {
+			t.Fatalf("arrival %d outside the profile: %g", i, a.AtSec)
+		}
+		switch a.Template {
+		case 0:
+			if a.Seed != 0 {
+				t.Fatalf("template a is not unique_seed but got seed %d", a.Seed)
+			}
+		case 1:
+			if a.Seed == 0 {
+				t.Fatalf("template b is unique_seed but arrival %d has no seed", i)
+			}
+			sawUnique = true
+		default:
+			t.Fatalf("arrival %d picked unknown template %d", i, a.Template)
+		}
+	}
+	if !sawUnique {
+		t.Fatal("weighted pick never chose the weight-3 template")
+	}
+	// A different seed reshuffles the template picks but not the count.
+	p2 := p
+	p2.Seed = 99
+	s3 := Schedule(p2)
+	if len(s3) != len(s1) {
+		t.Fatalf("seed changed the arrival count: %d vs %d", len(s3), len(s1))
+	}
+	if reflect.DeepEqual(s1, s3) {
+		t.Fatal("different seeds produced the identical schedule")
+	}
+}

@@ -1,0 +1,153 @@
+package loadgen
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"mlbench/internal/core"
+	"mlbench/internal/serve"
+)
+
+// slowRunner is a runner for real-server tests: fast enough to keep the
+// tests short, slow enough that a burst overruns a one-deep queue.
+func slowRunner(d time.Duration) serve.Runner {
+	return func(ctx context.Context, spec core.RunSpec, progress func(core.ProgressEvent)) (*serve.RunOutput, error) {
+		select {
+		case <-time.After(d):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		return &serve.RunOutput{Table: "t\n", Markdown: "t\n", Matched: 1, Total: 1}, nil
+	}
+}
+
+// uniqueProfile is a one-phase profile whose requests never coalesce.
+func uniqueProfile(name string, phase core.Phase, events ...core.ScheduledEvent) core.Profile {
+	return core.Profile{
+		Name:      name,
+		BucketSec: 1,
+		GraceSec:  3,
+		Templates: []core.Template{
+			{Name: "u", UniqueSeed: true, Spec: core.RunSpec{Figure: "fig1a", Iterations: 1}},
+		},
+		Phases: []core.Phase{phase},
+		Events: events,
+	}.Normalize()
+}
+
+// TestBackpressureRetriesSucceed drives a queue-overrun burst into a real
+// serve.Server: the driver sees 429s with a positive Retry-After, honors
+// it on the wall clock, and the retried requests complete — with the
+// retry wait accounted separately from the service latency percentiles.
+func TestBackpressureRetriesSucceed(t *testing.T) {
+	// 100ms service at one worker caps throughput at 10 rps — the 25 rps
+	// burst must overflow the one-deep queue.
+	s := serve.New(serve.Config{
+		Workers:    1,
+		QueueDepth: 1,
+		RetryAfter: time.Second,
+		Runner:     slowRunner(100 * time.Millisecond),
+	})
+	defer drainServer(t, s)
+
+	res, err := Run(uniqueProfile("overrun", core.Phase{
+		Name: "burst", DurationSec: 1, RPS: 25,
+	}), Options{
+		BaseURL: "http://real",
+		Client:  HandlerClient(s.Handler()),
+		Clock:   WallClock{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := res.Summary
+	if sum.Rejected429 == 0 {
+		t.Fatal("queue overrun produced no 429s")
+	}
+	if sum.Retries == 0 {
+		t.Fatal("driver never honored Retry-After with a retry")
+	}
+	if sum.RetrySucceeded == 0 {
+		t.Fatalf("no retried request completed: %+v", sum)
+	}
+	// The Retry-After wait (1s wall) lands in the penalty column, not the
+	// latency percentiles: the longest service latency stays far below
+	// one retry round-trip.
+	if sum.RetryPenaltyMs < 900*float64(sum.RetrySucceeded) {
+		t.Errorf("retry penalty %.0fms implausibly small for %d retried completions",
+			sum.RetryPenaltyMs, sum.RetrySucceeded)
+	}
+	if sum.P99Ms >= 900 {
+		t.Errorf("p99 %.0fms absorbed the retry wait; it must track the last attempt only", sum.P99Ms)
+	}
+	if sum.Errors != 0 || sum.Failed != 0 {
+		t.Errorf("unexpected errors/failures: %+v", sum)
+	}
+	if sum.Completed == 0 {
+		t.Error("nothing completed")
+	}
+}
+
+// TestDrainDuringLoad fires the profile's drain event mid-replay against
+// a real server: submissions accepted before the drain all complete
+// (in-flight and queued runs are never dropped) and the driver reports
+// the 503 tail for the arrivals after it.
+func TestDrainDuringLoad(t *testing.T) {
+	s := serve.New(serve.Config{
+		Workers:    2,
+		QueueDepth: 16,
+		Runner:     slowRunner(20 * time.Millisecond),
+	})
+	defer drainServer(t, s)
+
+	res, err := Run(uniqueProfile("drain-mid",
+		core.Phase{Name: "steady", DurationSec: 2, RPS: 10},
+		core.ScheduledEvent{AtSec: 1, Action: core.EventDrain},
+	), Options{
+		BaseURL: "http://real",
+		Client:  HandlerClient(s.Handler()),
+		Clock:   WallClock{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := res.Summary
+	if sum.Unavail503 == 0 {
+		t.Fatal("no 503 tail after the drain event")
+	}
+	if sum.Completed == 0 {
+		t.Fatal("nothing completed before the drain")
+	}
+	if sum.Failed != 0 || sum.Errors != 0 {
+		t.Errorf("accepted runs were dropped by the drain: %+v", sum)
+	}
+	// Conservation: every issued request either completed (accepted
+	// before the drain) or was refused with 503 (after it) — the capacity
+	// comfortably exceeds 10 rps, so nothing is rejected or left pending.
+	if sum.Completed+sum.Unavail503 != sum.Issued {
+		t.Errorf("issued %d != completed %d + 503 %d: runs went missing",
+			sum.Issued, sum.Completed, sum.Unavail503)
+	}
+	// The drain annotation lands in the timeline.
+	var sawDrain bool
+	for _, b := range res.Buckets {
+		for _, ev := range b.Events {
+			if ev == core.EventDrain {
+				sawDrain = true
+			}
+		}
+	}
+	if !sawDrain {
+		t.Error("drain event missing from the timeline events column")
+	}
+}
+
+func drainServer(t *testing.T, s *serve.Server) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Logf("drain: %v", err)
+	}
+}

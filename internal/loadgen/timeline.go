@@ -1,0 +1,206 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"mlbench/internal/core"
+)
+
+// Bucket is one timeline row: every request is attributed to the bucket
+// of its first issue, so a bucket's counters answer "what happened to the
+// traffic that arrived here" (completions of earlier arrivals never bleed
+// forward). Gauges are the last /v1/metrics scrape inside the bucket.
+type Bucket struct {
+	Index    int     `json:"bucket"`
+	StartSec float64 `json:"start_sec"`
+
+	Issued      int `json:"issued"`
+	Completed   int `json:"completed"`
+	Failed      int `json:"failed"`
+	Rejected429 int `json:"rejected_429"`
+	Unavail503  int `json:"unavail_503"`
+	Errors      int `json:"errors"`
+	Retries     int `json:"retries"`
+	CacheHits   int `json:"cache_hits"`
+
+	P50Ms float64 `json:"p50_ms"`
+	P95Ms float64 `json:"p95_ms"`
+	P99Ms float64 `json:"p99_ms"`
+
+	QueueDepth   int     `json:"queue_depth"`
+	Workers      int     `json:"workers"`
+	WorkersBusy  int     `json:"workers_busy"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+
+	Events []string `json:"events,omitempty"`
+
+	latencies []float64 // wall ms of completed requests issued here
+}
+
+// finish computes the bucket's latency percentiles.
+func (b *Bucket) finish() {
+	b.P50Ms = percentile(b.latencies, 50)
+	b.P95Ms = percentile(b.latencies, 95)
+	b.P99Ms = percentile(b.latencies, 99)
+}
+
+// percentile is the nearest-rank percentile of an unsorted sample (0 when
+// empty) — the deterministic textbook definition, no interpolation.
+func percentile(sample []float64, p float64) float64 {
+	if len(sample) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), sample...)
+	sort.Float64s(s)
+	rank := int(math.Ceil(p / 100 * float64(len(s))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(s) {
+		rank = len(s)
+	}
+	return s[rank-1]
+}
+
+// csvHeader is the stable timeline schema; tests and downstream tooling
+// parse these names — extend, never rename.
+const csvHeader = "bucket,start_sec,issued,completed,failed,rejected_429,unavail_503,errors,retries,cache_hits,p50_ms,p95_ms,p99_ms,queue_depth,workers,workers_busy,cache_hit_rate,events"
+
+// WriteCSV renders the timeline byte-stably: fixed decimal places for
+// measurements, events joined with ';'.
+func WriteCSV(w io.Writer, buckets []Bucket) error {
+	if _, err := fmt.Fprintln(w, csvHeader); err != nil {
+		return err
+	}
+	for _, b := range buckets {
+		row := strings.Join([]string{
+			strconv.Itoa(b.Index),
+			strconv.FormatFloat(b.StartSec, 'f', -1, 64),
+			strconv.Itoa(b.Issued),
+			strconv.Itoa(b.Completed),
+			strconv.Itoa(b.Failed),
+			strconv.Itoa(b.Rejected429),
+			strconv.Itoa(b.Unavail503),
+			strconv.Itoa(b.Errors),
+			strconv.Itoa(b.Retries),
+			strconv.Itoa(b.CacheHits),
+			strconv.FormatFloat(b.P50Ms, 'f', 3, 64),
+			strconv.FormatFloat(b.P95Ms, 'f', 3, 64),
+			strconv.FormatFloat(b.P99Ms, 'f', 3, 64),
+			strconv.Itoa(b.QueueDepth),
+			strconv.Itoa(b.Workers),
+			strconv.Itoa(b.WorkersBusy),
+			strconv.FormatFloat(b.CacheHitRate, 'f', 4, 64),
+			strings.Join(b.Events, ";"),
+		}, ",")
+		if _, err := fmt.Fprintln(w, row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Verdict is one SLO check of the replay summary.
+type Verdict struct {
+	Name   string  `json:"name"`
+	Limit  float64 `json:"limit"`
+	Actual float64 `json:"actual"`
+	Pass   bool    `json:"pass"`
+}
+
+// Summary is the replay's aggregate result and SLO verdicts
+// (JSON-serialized by WriteSummary).
+type Summary struct {
+	Profile     string  `json:"profile"`
+	Compression float64 `json:"compression"`
+	DurationSec float64 `json:"duration_sec"`
+
+	Issued         int `json:"issued"`
+	Completed      int `json:"completed"`
+	Failed         int `json:"failed"`
+	Rejected429    int `json:"rejected_429"`
+	Unavail503     int `json:"unavail_503"`
+	Errors         int `json:"errors"`
+	Retries        int `json:"retries"`
+	RetrySucceeded int `json:"retry_succeeded"`
+	CacheHits      int `json:"cache_hits"`
+
+	// P50/P95/P99 are wall milliseconds over every completed request;
+	// RetryPenaltyMs is the summed extra wait of requests that needed a
+	// retry (last issue minus first issue), kept out of the percentiles so
+	// backpressure shows up as its own line.
+	P50Ms          float64 `json:"p50_ms"`
+	P95Ms          float64 `json:"p95_ms"`
+	P99Ms          float64 `json:"p99_ms"`
+	RetryPenaltyMs float64 `json:"retry_penalty_ms"`
+
+	CacheHitRate  float64 `json:"cache_hit_rate"`
+	MaxQueueDepth int     `json:"max_queue_depth"`
+	MinWorkers    int     `json:"min_workers"`
+	MaxWorkers    int     `json:"max_workers"`
+	ScaleUps      int     `json:"scale_ups"`
+	ScaleDowns    int     `json:"scale_downs"`
+
+	Verdicts []Verdict `json:"verdicts"`
+	Pass     bool      `json:"pass"`
+}
+
+// WriteSummary renders the summary as stable indented JSON.
+func WriteSummary(w io.Writer, s *Summary) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintln(w, string(data))
+	return err
+}
+
+// EvaluateSLO fills the summary's verdicts from the profile's SLO and
+// returns overall pass. A nil SLO passes vacuously with no verdicts.
+// Rates are fractions of total attempts (issued + retries).
+func EvaluateSLO(slo *core.SLO, s *Summary) bool {
+	s.Verdicts = []Verdict{}
+	s.Pass = true
+	if slo == nil {
+		return true
+	}
+	attempts := float64(s.Issued + s.Retries)
+	rate := func(n int) float64 {
+		if attempts == 0 {
+			return 0
+		}
+		return float64(n) / attempts
+	}
+	add := func(name string, limit, actual float64, pass bool) {
+		s.Verdicts = append(s.Verdicts, Verdict{Name: name, Limit: limit, Actual: actual, Pass: pass})
+		s.Pass = s.Pass && pass
+	}
+	if v := slo.MaxP50Ms; v != nil {
+		add("max_p50_ms", *v, s.P50Ms, s.P50Ms <= *v)
+	}
+	if v := slo.MaxP99Ms; v != nil {
+		add("max_p99_ms", *v, s.P99Ms, s.P99Ms <= *v)
+	}
+	if v := slo.Max429Rate; v != nil {
+		add("max_429_rate", *v, rate(s.Rejected429), rate(s.Rejected429) <= *v)
+	}
+	if v := slo.Max503Rate; v != nil {
+		add("max_503_rate", *v, rate(s.Unavail503), rate(s.Unavail503) <= *v)
+	}
+	if v := slo.MaxErrorRate; v != nil {
+		add("max_error_rate", *v, rate(s.Errors), rate(s.Errors) <= *v)
+	}
+	if v := slo.MinCacheHitRate; v != nil {
+		add("min_cache_hit_rate", *v, s.CacheHitRate, s.CacheHitRate >= *v)
+	}
+	if v := slo.MinCompleted; v != nil {
+		add("min_completed", float64(*v), float64(s.Completed), s.Completed >= *v)
+	}
+	return s.Pass
+}

@@ -1,0 +1,137 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestYAMLToJSONSubset(t *testing.T) {
+	in := `
+# header comment
+name: demo
+compression: 100
+seed: 42
+nested:
+  a: 1
+  b: "quoted # not a comment"
+  c: 'single'
+  flag: true
+  nothing: null
+list:
+  - 1
+  - two
+  - key: v
+    other: 2.5
+blocks:
+  - name: x
+    spec:
+      figure: fig1a
+`
+	got, err := yamlToJSON([]byte(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v map[string]any
+	if err := json.Unmarshal(got, &v); err != nil {
+		t.Fatalf("invalid JSON %s: %v", got, err)
+	}
+	want := map[string]any{
+		"name":        "demo",
+		"compression": 100.0,
+		"seed":        42.0,
+		"nested": map[string]any{
+			"a": 1.0, "b": "quoted # not a comment", "c": "single",
+			"flag": true, "nothing": nil,
+		},
+		"list": []any{1.0, "two", map[string]any{"key": "v", "other": 2.5}},
+		"blocks": []any{
+			map[string]any{"name": "x", "spec": map[string]any{"figure": "fig1a"}},
+		},
+	}
+	if !reflect.DeepEqual(v, want) {
+		t.Fatalf("parsed:\n%#v\nwant:\n%#v", v, want)
+	}
+}
+
+func TestYAMLErrors(t *testing.T) {
+	cases := []struct {
+		name, in, want string
+	}{
+		{"tabs", "a:\n\tb: 1", "tabs are not allowed"},
+		{"no colon", "just a bare line", "expected 'key: value'"},
+		{"no space after colon", "a:1", "expected a space after ':'"},
+		{"bad indent", "a: 1\n   b: 2", "unexpected indentation"},
+		{"dup key", "a: 1\na: 2", "duplicate key"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := yamlToJSON([]byte(tc.in))
+			if err == nil {
+				t.Fatalf("accepted %q", tc.in)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestLoadProfileYAMLMatchesJSON(t *testing.T) {
+	yamlPath := filepath.Join("..", "..", "profiles", "ramp-burst-drain.yaml")
+	p, err := LoadProfile(yamlPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "ramp-burst-drain" || p.Compression != 100 || len(p.Templates) != 2 ||
+		len(p.Phases) != 3 || len(p.Events) != 3 || p.SLO == nil {
+		t.Fatalf("profile did not survive YAML round-trip: %+v", p)
+	}
+	if !p.Templates[1].UniqueSeed || p.Templates[1].Spec.Figure != "fig1b" {
+		t.Fatalf("cold template: %+v", p.Templates[1])
+	}
+	if p.Events[0].Label != "warmup-done" {
+		t.Fatalf("event label: %+v", p.Events[0])
+	}
+
+	// The same profile expressed as JSON loads identically.
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jsonPath := filepath.Join(t.TempDir(), "p.json")
+	if err := os.WriteFile(jsonPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := LoadProfile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p, p2) {
+		t.Fatalf("YAML and JSON profiles differ:\n%+v\n%+v", p, p2)
+	}
+}
+
+func TestLoadProfileRejectsBadInput(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	if _, err := LoadProfile(write("x.toml", "")); err == nil ||
+		!strings.Contains(err.Error(), "unsupported profile extension") {
+		t.Fatalf("extension error: %v", err)
+	}
+	if _, err := LoadProfile(write("x.yaml", "name: t\nrsp: 1")); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	if _, err := LoadProfile(write("y.yaml", "name: t")); err == nil {
+		t.Fatal("invalid profile accepted (no templates)")
+	}
+}

@@ -104,7 +104,9 @@ func TestCollectCells(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if f.Version != SchemaVersion || len(f.Benchmarks) != 7 {
+	// 7 simulation micros + the timed loadgen replay + 5 deterministic
+	// slo: serving entries.
+	if f.Version != SchemaVersion || len(f.Benchmarks) != 13 {
 		t.Fatalf("micro-only collection: version %d, %d benchmarks", f.Version, len(f.Benchmarks))
 	}
 	if f.Env.GoVersion == "" || f.Env.NumCPU <= 0 {

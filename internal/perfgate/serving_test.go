@@ -1,0 +1,59 @@
+package perfgate
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestServingSLOResultsDeterministic: the serving section's slo: entries
+// come from a fake-clock replay, so two independent collections must be
+// identical to the bit — that is what lets the gate compare them with
+// zero tolerance for drift — and a self-comparison through the real
+// comparator must pass.
+func TestServingSLOResultsDeterministic(t *testing.T) {
+	a, err := ServingSLOResults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ServingSLOResults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) || len(a) == 0 {
+		t.Fatalf("entry counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("entry %d drifted between replays: %+v vs %+v", i, a[i], b[i])
+		}
+		if !strings.HasPrefix(a[i].Name, "slo:") {
+			t.Errorf("entry %d name %q missing slo: prefix", i, a[i].Name)
+		}
+		if a[i].MinNS <= 0 || a[i].MedianNS != a[i].MinNS {
+			t.Errorf("entry %s not pinned: %+v", a[i].Name, a[i])
+		}
+	}
+
+	base, cur := NewFile(), NewFile()
+	base.Benchmarks, cur.Benchmarks = a, b
+	if rep := Compare(base, cur, GateOptions{}); rep.Failed() {
+		t.Errorf("self-comparison of the serving entries failed:\n%s", rep.Render())
+	}
+}
+
+// TestServingReplaySpecMeasures runs the timed replay spec through the
+// harness once: the driver loop, fake server, and timeline aggregation
+// all execute inside a measured op.
+func TestServingReplaySpecMeasures(t *testing.T) {
+	specs := ServingSpecs()
+	if len(specs) != 1 || specs[0].Name != "micro:loadgen-replay" {
+		t.Fatalf("unexpected serving specs: %+v", specs)
+	}
+	r, err := Measure(specs[0], HarnessOptions{Reps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MinNS <= 0 {
+		t.Errorf("replay spec measured %v ns/op", r.MinNS)
+	}
+}

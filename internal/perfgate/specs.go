@@ -313,6 +313,7 @@ func Collect(o CollectOptions) (*File, error) {
 	var specs []Spec
 	if !o.SkipMicros {
 		specs = append(specs, MicroSpecs()...)
+		specs = append(specs, ServingSpecs()...)
 	}
 	if !o.SkipCells {
 		specs = append(specs, CellSpecs(o.Spec)...)
@@ -322,5 +323,12 @@ func Collect(o CollectOptions) (*File, error) {
 		return nil, err
 	}
 	f.Benchmarks = results
+	if !o.SkipMicros {
+		slo, err := ServingSLOResults()
+		if err != nil {
+			return nil, err
+		}
+		f.Benchmarks = append(f.Benchmarks, slo...)
+	}
 	return f, nil
 }

@@ -1,0 +1,161 @@
+package serve
+
+import (
+	"fmt"
+	"time"
+)
+
+// AutoscaleConfig tunes the elastic worker pool. When Config.Autoscale is
+// non-nil, the Server starts with Min workers and a controller goroutine
+// re-evaluates the pool every Interval against the queue depth and worker
+// utilization; the pool grows under bursts and drains back when idle.
+// Scale-downs only retire idle workers — a worker mid-run always finishes
+// its job first.
+type AutoscaleConfig struct {
+	// Min and Max bound the pool (defaults 1 and 8).
+	Min int `json:"min"`
+	Max int `json:"max"`
+	// Interval is the evaluation cadence (default 1s). A burst that fills
+	// the queue triggers a scale-up on the very next evaluation: scale-up
+	// hysteresis is intentionally 1 interval, because under-provisioning
+	// costs latency while over-provisioning only costs idle goroutines.
+	Interval time.Duration `json:"interval_ns"`
+	// UpQueue is the queue depth that triggers a scale-up (default 2).
+	// The step is proportional: queue/UpQueue extra workers, clamped to
+	// Max, so a deep backlog jumps the pool instead of creeping up.
+	UpQueue int `json:"up_queue"`
+	// DownStreak is the number of consecutive low-load evaluations (empty
+	// queue, utilization below DownUtil) required before removing one
+	// worker (default 3). This is the flap damper: a queue oscillating
+	// around the threshold resets the streak and never scales down.
+	DownStreak int `json:"down_streak"`
+	// DownUtil is the busy/workers ratio under which an evaluation counts
+	// toward DownStreak (default 0.5).
+	DownUtil float64 `json:"down_util"`
+	// Cooldown is the minimum gap between any two scaling actions
+	// (default 2*Interval). Within it the controller holds the pool even
+	// when thresholds are crossed.
+	Cooldown time.Duration `json:"cooldown_ns"`
+}
+
+func (c AutoscaleConfig) withDefaults() AutoscaleConfig {
+	if c.Min <= 0 {
+		c.Min = 1
+	}
+	if c.Max <= 0 {
+		c.Max = 8
+	}
+	if c.Max < c.Min {
+		c.Max = c.Min
+	}
+	if c.Interval <= 0 {
+		c.Interval = time.Second
+	}
+	if c.UpQueue <= 0 {
+		c.UpQueue = 2
+	}
+	if c.DownStreak <= 0 {
+		c.DownStreak = 3
+	}
+	if c.DownUtil <= 0 || c.DownUtil >= 1 {
+		c.DownUtil = 0.5
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 2 * c.Interval
+	}
+	return c
+}
+
+// LoadSample is one controller observation of the pool.
+type LoadSample struct {
+	// Queue is the number of accepted-but-not-started jobs.
+	Queue int
+	// Busy is the number of workers currently executing a job.
+	Busy int
+	// Workers is the effective pool size (started workers minus pending
+	// retirements).
+	Workers int
+}
+
+// ScaleEvent records one applied scaling decision (GET /v1/autoscaler).
+type ScaleEvent struct {
+	At     time.Time `json:"at"`
+	From   int       `json:"from"`
+	To     int       `json:"to"`
+	Reason string    `json:"reason"`
+}
+
+// Autoscaler is the pure scaling policy: feed it one LoadSample per
+// evaluation interval and it answers the target pool size. It is
+// deliberately free of goroutines and clocks so step-response tests can
+// drive it sample by sample; the Server wraps it in a ticker.
+type Autoscaler struct {
+	cfg        AutoscaleConfig
+	lowStreak  int
+	lastAction time.Time
+	acted      bool
+}
+
+// NewAutoscaler builds a policy with the config's defaults applied.
+func NewAutoscaler(cfg AutoscaleConfig) *Autoscaler {
+	return &Autoscaler{cfg: cfg.withDefaults()}
+}
+
+// Config returns the defaulted configuration the policy runs with.
+func (a *Autoscaler) Config() AutoscaleConfig { return a.cfg }
+
+// Decide consumes one evaluation sample and returns the target pool size
+// plus a human-readable reason. target == s.Workers means hold. The
+// policy:
+//
+//   - scale UP when the queue reaches UpQueue (or every worker is busy
+//     with work waiting), by queue/UpQueue workers, immediately — one
+//     high sample is enough;
+//   - scale DOWN one worker only after DownStreak consecutive samples
+//     with an empty queue and utilization below DownUtil — the
+//     hysteresis that stops an oscillating queue from flapping the pool;
+//   - never act twice within Cooldown, and always stay inside [Min, Max].
+func (a *Autoscaler) Decide(now time.Time, s LoadSample) (target int, reason string) {
+	cfg := a.cfg
+	workers := s.Workers
+	if workers < cfg.Min {
+		// Below the floor (e.g. first evaluation of a fresh pool): restore
+		// it regardless of streaks or cooldown.
+		a.lowStreak = 0
+		return cfg.Min, fmt.Sprintf("pool %d below min %d", workers, cfg.Min)
+	}
+	high := s.Queue >= cfg.UpQueue || (s.Queue > 0 && s.Busy >= workers)
+	low := s.Queue == 0 && float64(s.Busy) < cfg.DownUtil*float64(workers)
+	if low {
+		a.lowStreak++
+	} else {
+		a.lowStreak = 0
+	}
+	cooled := !a.acted || !now.Before(a.lastAction.Add(cfg.Cooldown))
+	if high && cooled {
+		step := s.Queue / cfg.UpQueue
+		if step < 1 {
+			step = 1
+		}
+		target = workers + step
+		if target > cfg.Max {
+			target = cfg.Max
+		}
+		if target > workers {
+			a.act(now)
+			return target, fmt.Sprintf("queue %d, busy %d/%d", s.Queue, s.Busy, workers)
+		}
+		return workers, ""
+	}
+	if low && a.lowStreak >= cfg.DownStreak && cooled && workers > cfg.Min {
+		a.act(now)
+		return workers - 1, fmt.Sprintf("idle for %d intervals (busy %d/%d)", a.lowStreak, s.Busy, workers)
+	}
+	return workers, ""
+}
+
+func (a *Autoscaler) act(now time.Time) {
+	a.lastAction = now
+	a.acted = true
+	a.lowStreak = 0
+}

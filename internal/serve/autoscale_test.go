@@ -1,0 +1,331 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"mlbench/internal/core"
+)
+
+// step is one Decide invocation of a step-response scenario: the sample
+// fed at a given offset and the target the policy must answer.
+type step struct {
+	atSec  float64
+	sample LoadSample
+	want   int
+}
+
+// runSteps drives a fresh policy through the scenario.
+func runSteps(t *testing.T, cfg AutoscaleConfig, steps []step) {
+	t.Helper()
+	a := NewAutoscaler(cfg)
+	t0 := time.Unix(1000, 0)
+	for i, st := range steps {
+		now := t0.Add(time.Duration(st.atSec * float64(time.Second)))
+		got, reason := a.Decide(now, st.sample)
+		if got != st.want {
+			t.Fatalf("step %d (t=%.1fs, sample %+v): target = %d (%s), want %d",
+				i, st.atSec, st.sample, got, reason, st.want)
+		}
+	}
+}
+
+// TestAutoscalerStepResponses is the table-driven satellite battery:
+// burst scale-up within one evaluation, flap-proof hysteresis, cooldown,
+// and the min/max clamps.
+func TestAutoscalerStepResponses(t *testing.T) {
+	cfg := AutoscaleConfig{
+		Min: 1, Max: 4,
+		Interval:   time.Second,
+		UpQueue:    2,
+		DownStreak: 3,
+		DownUtil:   0.5,
+		Cooldown:   2 * time.Second,
+	}
+	cases := []struct {
+		name  string
+		steps []step
+	}{
+		{
+			// A burst filling the queue scales up on the very next
+			// evaluation — no warmup streak required.
+			name: "burst scales up within one interval",
+			steps: []step{
+				{0, LoadSample{Queue: 0, Busy: 0, Workers: 1}, 1},
+				{1, LoadSample{Queue: 4, Busy: 1, Workers: 1}, 3}, // +queue/UpQueue = +2
+			},
+		},
+		{
+			// All workers busy with anything queued counts as pressure
+			// even below the UpQueue threshold.
+			name: "saturated pool with backlog scales up",
+			steps: []step{
+				{0, LoadSample{Queue: 1, Busy: 2, Workers: 2}, 3},
+			},
+		},
+		{
+			// A queue oscillating between empty and almost-threshold
+			// resets the low streak every time: the pool never moves.
+			name: "oscillating queue does not flap",
+			steps: []step{
+				{0, LoadSample{Queue: 0, Busy: 0, Workers: 2}, 2},
+				{1, LoadSample{Queue: 1, Busy: 1, Workers: 2}, 2}, // work resets the streak
+				{2, LoadSample{Queue: 0, Busy: 0, Workers: 2}, 2},
+				{3, LoadSample{Queue: 1, Busy: 1, Workers: 2}, 2},
+				{4, LoadSample{Queue: 0, Busy: 0, Workers: 2}, 2},
+				{5, LoadSample{Queue: 1, Busy: 1, Workers: 2}, 2},
+			},
+		},
+		{
+			// Three consecutive idle evaluations retire one worker.
+			name: "sustained idle scales down by one",
+			steps: []step{
+				{0, LoadSample{Queue: 0, Busy: 0, Workers: 3}, 3},
+				{1, LoadSample{Queue: 0, Busy: 0, Workers: 3}, 3},
+				{2, LoadSample{Queue: 0, Busy: 0, Workers: 3}, 2},
+			},
+		},
+		{
+			// After a scale-up, the cooldown holds the pool even under
+			// continued pressure; it may act again once the window ends.
+			name: "cooldown respected after scale-up",
+			steps: []step{
+				{0, LoadSample{Queue: 4, Busy: 1, Workers: 1}, 3},
+				{1, LoadSample{Queue: 4, Busy: 3, Workers: 3}, 3}, // inside cooldown
+				{2, LoadSample{Queue: 4, Busy: 3, Workers: 3}, 4}, // cooldown over
+			},
+		},
+		{
+			// The Max clamp: a huge backlog cannot push past the ceiling.
+			name: "max clamp",
+			steps: []step{
+				{0, LoadSample{Queue: 40, Busy: 1, Workers: 1}, 4},
+			},
+		},
+		{
+			// The Min clamp: idling forever never drops below the floor.
+			name: "min clamp",
+			steps: []step{
+				{0, LoadSample{Queue: 0, Busy: 0, Workers: 1}, 1},
+				{1, LoadSample{Queue: 0, Busy: 0, Workers: 1}, 1},
+				{2, LoadSample{Queue: 0, Busy: 0, Workers: 1}, 1},
+				{3, LoadSample{Queue: 0, Busy: 0, Workers: 1}, 1},
+			},
+		},
+		{
+			// A pool reported below Min (fresh start) is restored
+			// immediately.
+			name: "below-min pool restored",
+			steps: []step{
+				{0, LoadSample{Queue: 0, Busy: 0, Workers: 0}, 1},
+			},
+		},
+		{
+			// After the cooldown, sustained idle keeps stepping down one
+			// worker per window until Min.
+			name: "drain back to min across cooldowns",
+			steps: []step{
+				{0, LoadSample{Queue: 0, Busy: 0, Workers: 3}, 3},
+				{1, LoadSample{Queue: 0, Busy: 0, Workers: 3}, 3},
+				{2, LoadSample{Queue: 0, Busy: 0, Workers: 3}, 2},
+				{3, LoadSample{Queue: 0, Busy: 0, Workers: 2}, 2}, // streak restarts + cooldown
+				{4, LoadSample{Queue: 0, Busy: 0, Workers: 2}, 2},
+				{5, LoadSample{Queue: 0, Busy: 0, Workers: 2}, 1},
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) { runSteps(t, cfg, tc.steps) })
+	}
+}
+
+func TestAutoscaleConfigDefaults(t *testing.T) {
+	cfg := AutoscaleConfig{}.withDefaults()
+	if cfg.Min != 1 || cfg.Max != 8 || cfg.Interval != time.Second ||
+		cfg.UpQueue != 2 || cfg.DownStreak != 3 || cfg.DownUtil != 0.5 ||
+		cfg.Cooldown != 2*time.Second {
+		t.Fatalf("unexpected defaults: %+v", cfg)
+	}
+	if got := (AutoscaleConfig{Min: 3}).withDefaults(); got.Max != 8 {
+		t.Fatalf("Max should default above Min, got %+v", got)
+	}
+	if got := (AutoscaleConfig{Min: 3, Max: 2}).withDefaults(); got.Max != 3 {
+		t.Fatalf("Max below Min should clamp to Min, got %+v", got)
+	}
+}
+
+// TestScaleDownKeepsInflightRun proves the satellite claim: a worker
+// mid-run never consumes a retire token, so scaling the pool down under
+// an in-flight job lets the job finish normally.
+func TestScaleDownKeepsInflightRun(t *testing.T) {
+	hold := make(chan struct{}) // fig2 blocks on this; other figures finish at once
+	started := make(chan string, 8)
+	runner := func(ctx context.Context, spec core.RunSpec, _ func(core.ProgressEvent)) (*RunOutput, error) {
+		started <- spec.Figure
+		if spec.Figure == "fig2" {
+			select {
+			case <-hold:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		return &RunOutput{Table: "t\n", Markdown: "t\n", Matched: 1, Total: 1}, nil
+	}
+	cfg := Config{
+		Runner: runner,
+		// Interval is huge: the test drives evaluateScale directly.
+		Autoscale: &AutoscaleConfig{Min: 1, Max: 3, Interval: time.Hour, UpQueue: 1, DownStreak: 1, Cooldown: time.Nanosecond},
+	}
+	s, ts := newTestServer(t, cfg)
+
+	// Occupy the single starting worker, then queue two more runs.
+	_, mHeld := postSpec(t, ts, `{"figure":"fig2"}`)
+	heldID := mHeld["id"].(string)
+	<-started
+	_, mA := postSpec(t, ts, `{"figure":"fig1a"}`)
+	_, mB := postSpec(t, ts, `{"figure":"fig1b"}`)
+	now := time.Unix(2000, 0)
+	s.evaluateScale(now) // queue=2, UpQueue=1: proportional step to 3 workers
+	<-started
+	<-started
+	if got := s.Metrics().Workers; got != 3 {
+		t.Fatalf("workers after scale-up = %d, want 3", got)
+	}
+	if ups := s.Metrics().ScaleUps; ups != 1 {
+		t.Fatalf("scale_ups = %d, want 1", ups)
+	}
+
+	// The two quick runs finish; fig2 stays in flight on worker 1.
+	waitState(t, s, mA["id"].(string), StateDone)
+	waitState(t, s, mB["id"].(string), StateDone)
+
+	// Idle evaluation: queue empty, 1/3 busy — retire one worker. The next
+	// evaluation sees 1/2 busy, which is not below DownUtil 0.5, so the
+	// pool holds at 2: a scale-down never drains below the load.
+	now = now.Add(time.Minute)
+	s.evaluateScale(now)
+	now = now.Add(time.Minute)
+	s.evaluateScale(now)
+	if got := s.Metrics().Workers; got != 2 {
+		t.Fatalf("workers after idle scale-down = %d, want 2", got)
+	}
+	if downs := s.Metrics().ScaleDowns; downs != 1 {
+		t.Fatalf("scale_downs = %d, want 1", downs)
+	}
+
+	// The in-flight run survived the scale-down and completes normally.
+	if st := s.status(s.Job(heldID)); st.State != StateRunning {
+		t.Fatalf("in-flight run state during scale-down = %s, want running", st.State)
+	}
+	close(hold)
+	waitState(t, s, heldID, StateDone)
+
+	ev := s.ScaleEvents()
+	if len(ev) != 2 || ev[0].From != 1 || ev[0].To != 3 || ev[1].From != 3 || ev[1].To != 2 {
+		t.Fatalf("scale events = %+v, want 1->3 then 3->2", ev)
+	}
+}
+
+// TestMetricsSchemaStable pins the /v1/metrics JSON field names: the load
+// driver and the autoscaler scrape queue_depth, workers, workers_busy,
+// cache_hits, and cache_misses by name, so a rename is a breaking change
+// that must fail here first.
+func TestMetricsSchemaStable(t *testing.T) {
+	want := []string{
+		"cache_hits", "cache_misses", "canceled", "coalesced", "completed",
+		"draining", "failed", "jobs", "queue_cap", "queue_depth", "rejected",
+		"running", "scale_downs", "scale_ups", "submitted", "workers",
+		"workers_busy", "workers_max", "workers_min",
+	}
+	data, err := json.Marshal(Metrics{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for k := range m {
+		got = append(got, k)
+	}
+	sort.Strings(got)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("metrics JSON schema changed:\n got %v\nwant %v", got, want)
+	}
+}
+
+// TestCacheFlushEndpoint: flushed results recompute; queued/running jobs
+// survive a flush.
+func TestCacheFlushEndpoint(t *testing.T) {
+	stub := &stubRunner{}
+	s, ts := newTestServer(t, Config{Workers: 1, Runner: stub.run})
+
+	_, m1 := postSpec(t, ts, `{"figure":"fig1a"}`)
+	waitState(t, s, m1["id"].(string), StateDone)
+
+	resp, err := http.Post(ts.URL+"/v1/cache/flush", "", nil)
+	if err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	var fr struct {
+		Flushed int `json:"flushed"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&fr); err != nil {
+		t.Fatalf("decode flush: %v", err)
+	}
+	resp.Body.Close()
+	if fr.Flushed != 1 {
+		t.Fatalf("flushed = %d, want 1", fr.Flushed)
+	}
+
+	_, m2 := postSpec(t, ts, `{"figure":"fig1a"}`)
+	if m2["cached"].(bool) || m2["id"] == m1["id"] {
+		t.Fatalf("flushed spec still served from cache: %v", m2)
+	}
+	waitState(t, s, m2["id"].(string), StateDone)
+	if got := stub.calls.Load(); got != 2 {
+		t.Fatalf("runner calls = %d, want 2 (flush forces recompute)", got)
+	}
+}
+
+// TestDrainEndpoint: POST /v1/drain flips the server into the 503 tail
+// while in-flight work completes.
+func TestDrainEndpoint(t *testing.T) {
+	stub := &stubRunner{block: make(chan struct{}), started: make(chan string, 1)}
+	s, ts := newTestServer(t, Config{Workers: 1, Runner: stub.run})
+
+	_, m1 := postSpec(t, ts, `{"figure":"fig1a"}`)
+	<-stub.started
+	resp, err := http.Post(ts.URL+"/v1/drain", "", nil)
+	if err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	resp.Body.Close()
+
+	// New submissions now get 503; the in-flight run still finishes.
+	deadline := time.After(5 * time.Second)
+	for {
+		r2, m2 := postSpec(t, ts, `{"figure":"fig1b"}`)
+		if r2.StatusCode == http.StatusServiceUnavailable {
+			if !strings.Contains(m2["error"].(string), "draining") {
+				t.Fatalf("503 body = %v", m2)
+			}
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("drain endpoint never rejected new work (last %d %v)", r2.StatusCode, m2)
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	close(stub.block)
+	waitState(t, s, m1["id"].(string), StateDone)
+}

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -62,7 +63,10 @@ func (s *Server) status(j *Job) JobStatus {
 //	GET    /v1/runs/{id}/trace  Chrome trace-event JSON download
 //	GET    /v1/runs/{id}/trace.csv  CSV trace download
 //	POST   /v1/runs/{id}/cancel cancel (DELETE /v1/runs/{id} is equivalent)
-//	GET    /v1/metrics          queue/cache/worker counters
+//	GET    /v1/metrics          queue/cache/worker counters (stable names)
+//	GET    /v1/autoscaler       elastic-pool config + applied scale events
+//	POST   /v1/cache/flush      drop every cached result
+//	POST   /v1/drain            graceful drain (the HTTP twin of SIGTERM)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -83,7 +87,36 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Metrics())
 	})
+	mux.HandleFunc("GET /v1/autoscaler", s.handleAutoscaler)
+	mux.HandleFunc("POST /v1/cache/flush", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"flushed": s.FlushCache()})
+	})
+	mux.HandleFunc("POST /v1/drain", s.handleDrain)
 	return mux
+}
+
+// handleAutoscaler reports the elastic-pool configuration and the applied
+// scaling decisions; the load driver folds the events into its summary.
+func (s *Server) handleAutoscaler(w http.ResponseWriter, r *http.Request) {
+	resp := map[string]any{"enabled": false, "events": []ScaleEvent{}}
+	s.mu.Lock()
+	scaler := s.scaler
+	s.mu.Unlock()
+	if scaler != nil {
+		resp["enabled"] = true
+		resp["config"] = scaler.Config()
+		resp["events"] = s.ScaleEvents()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleDrain triggers the same graceful drain SIGTERM does, over HTTP:
+// new submissions start returning 503 immediately, queued and in-flight
+// runs finish in the background. The load driver's drain scheduled event
+// uses it to measure the 503 tail of a shutdown under traffic. Idempotent.
+func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
+	go s.Drain(context.Background())
+	writeJSON(w, http.StatusOK, map[string]any{"draining": true})
 }
 
 // withJob resolves the {id} path segment or 404s.

@@ -19,9 +19,13 @@ import (
 func Main(args []string) int {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
-	workers := fs.Int("workers", 0, "experiment worker pool size (0 = default)")
+	workers := fs.Int("workers", 0, "experiment worker pool size (0 = default); ignored when -maxworkers enables autoscaling")
 	queue := fs.Int("queue", 0, "queue depth before 429 backpressure (0 = default)")
 	cache := fs.Int("cache", 0, "completed results retained for cache hits (0 = default)")
+	minWorkers := fs.Int("minworkers", 1, "autoscaler pool floor (with -maxworkers)")
+	maxWorkers := fs.Int("maxworkers", 0, "autoscaler pool ceiling; > 0 enables the elastic worker pool")
+	scaleInterval := fs.Duration("scaleinterval", time.Second, "autoscaler evaluation interval")
+	scaleCooldown := fs.Duration("scalecooldown", 0, "minimum gap between scaling actions (0 = 2x the interval)")
 	drainTimeout := fs.Duration("draintimeout", 2*time.Minute, "max wait for in-flight runs on shutdown")
 	quiet := fs.Bool("quiet", false, "suppress per-job log lines")
 	if err := fs.Parse(args); err != nil {
@@ -34,6 +38,12 @@ func Main(args []string) int {
 
 	logf := func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) }
 	cfg := Config{Workers: *workers, QueueDepth: *queue, CacheSize: *cache}
+	if *maxWorkers > 0 {
+		cfg.Autoscale = &AutoscaleConfig{
+			Min: *minWorkers, Max: *maxWorkers,
+			Interval: *scaleInterval, Cooldown: *scaleCooldown,
+		}
+	}
 	if !*quiet {
 		cfg.Log = logf
 	}

@@ -103,6 +103,11 @@ type Config struct {
 	// ProgressInterval throttles per-run SSE progress events (default
 	// 100ms; progress is a stream hint, not a record).
 	ProgressInterval time.Duration
+	// Autoscale, when non-nil, replaces the fixed Workers pool with an
+	// elastic one: the pool starts at Autoscale.Min and a controller
+	// grows it toward Autoscale.Max on queue pressure and shrinks it back
+	// when idle (see AutoscaleConfig). Workers is ignored.
+	Autoscale *AutoscaleConfig
 	// Runner executes specs (default DefaultRunner).
 	Runner Runner
 	// Log, when non-nil, receives one line per lifecycle transition.
@@ -165,21 +170,31 @@ type Job struct {
 	subs    map[chan Event]struct{}
 }
 
-// Metrics is the service counter snapshot (GET /v1/metrics).
+// Metrics is the service counter snapshot (GET /v1/metrics). The JSON
+// names are a stable scrape contract: the load driver (internal/loadgen)
+// and the autoscaler read queue_depth, workers, workers_busy, cache_hits,
+// and cache_misses by these exact names, and TestMetricsSchemaStable pins
+// the full set — extend it, never rename.
 type Metrics struct {
-	Submitted  int64 `json:"submitted"`
-	Completed  int64 `json:"completed"`
-	Failed     int64 `json:"failed"`
-	Canceled   int64 `json:"canceled"`
-	Coalesced  int64 `json:"coalesced"`
-	CacheHits  int64 `json:"cache_hits"`
-	Rejected   int64 `json:"rejected"`
-	Running    int   `json:"running"`
-	QueueDepth int   `json:"queue_depth"`
-	QueueCap   int   `json:"queue_cap"`
-	Workers    int   `json:"workers"`
-	Jobs       int   `json:"jobs"`
-	Draining   bool  `json:"draining"`
+	Submitted   int64 `json:"submitted"`
+	Completed   int64 `json:"completed"`
+	Failed      int64 `json:"failed"`
+	Canceled    int64 `json:"canceled"`
+	Coalesced   int64 `json:"coalesced"`
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+	Rejected    int64 `json:"rejected"`
+	Running     int   `json:"running"`
+	QueueDepth  int   `json:"queue_depth"`
+	QueueCap    int   `json:"queue_cap"`
+	Workers     int   `json:"workers"`
+	WorkersBusy int   `json:"workers_busy"`
+	WorkersMin  int   `json:"workers_min"`
+	WorkersMax  int   `json:"workers_max"`
+	ScaleUps    int64 `json:"scale_ups"`
+	ScaleDowns  int64 `json:"scale_downs"`
+	Jobs        int   `json:"jobs"`
+	Draining    bool  `json:"draining"`
 }
 
 // Server is the experiment service core: the job table, the single-flight
@@ -199,10 +214,21 @@ type Server struct {
 	running  int
 	metrics  Metrics
 
+	// Elastic pool state (Config.Autoscale): pool counts started workers,
+	// retiring counts outstanding retire tokens not yet consumed, scaler
+	// is the policy, scaleEvents the applied-decision log.
+	pool        int
+	retiring    int
+	retire      chan struct{}
+	scaler      *Autoscaler
+	scaleEvents []ScaleEvent
+	ctlStop     chan struct{}
+
 	wg sync.WaitGroup
 }
 
-// New starts a Server and its worker pool.
+// New starts a Server and its worker pool (fixed at cfg.Workers, or
+// elastic between cfg.Autoscale.Min and .Max when autoscaling is on).
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
@@ -211,11 +237,27 @@ func New(cfg Config) *Server {
 		byKey: map[string]*Job{},
 		queue: make(chan *Job, cfg.QueueDepth),
 	}
-	for i := 0; i < cfg.Workers; i++ {
+	start := cfg.Workers
+	if cfg.Autoscale != nil {
+		s.scaler = NewAutoscaler(*cfg.Autoscale)
+		start = s.scaler.Config().Min
+		s.retire = make(chan struct{}, s.scaler.Config().Max)
+		s.ctlStop = make(chan struct{})
+		go s.controller()
+	}
+	s.mu.Lock()
+	s.spawnLocked(start)
+	s.mu.Unlock()
+	return s
+}
+
+// spawnLocked starts n workers. Caller holds s.mu.
+func (s *Server) spawnLocked(n int) {
+	for i := 0; i < n; i++ {
+		s.pool++
 		s.wg.Add(1)
 		go s.worker()
 	}
-	return s
 }
 
 func (s *Server) logf(format string, args ...any) {
@@ -282,6 +324,7 @@ func (s *Server) Submit(spec core.RunSpec) (*Job, SubmitDisposition, error) {
 	s.order = append(s.order, j.ID)
 	s.byKey[key] = j
 	s.metrics.Submitted++
+	s.metrics.CacheMisses++ // fresh computation: neither coalesced nor cached
 	s.emitLocked(j, Event{Type: StateQueued, Data: map[string]any{"id": j.ID, "key": j.Key}})
 	s.queue <- j // cannot block: len(queue) checked under mu
 	s.logf("serve: %s queued %s (%s)", j.ID, j.Spec.Figure, j.Key[:12])
@@ -317,12 +360,106 @@ func (s *Server) Cancel(id string) (state string, ok bool) {
 	return j.state, true
 }
 
-// worker consumes the FIFO until the queue closes on drain.
+// worker consumes the FIFO until the queue closes on drain or a retire
+// token arrives from a scale-down. Retire tokens are only consumed
+// between jobs, never mid-run: an in-flight run always survives a
+// scale-down.
 func (s *Server) worker() {
 	defer s.wg.Done()
-	for j := range s.queue {
-		s.runJob(j)
+	for {
+		select {
+		case j, ok := <-s.queue:
+			if !ok {
+				s.mu.Lock()
+				s.pool--
+				s.mu.Unlock()
+				return
+			}
+			s.runJob(j)
+		case <-s.retire: // nil channel when autoscaling is off: never ready
+			s.mu.Lock()
+			s.pool--
+			s.retiring--
+			s.mu.Unlock()
+			return
+		}
 	}
+}
+
+// controller re-evaluates the elastic pool every Autoscale.Interval until
+// drain.
+func (s *Server) controller() {
+	t := time.NewTicker(s.scaler.Config().Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.ctlStop:
+			return
+		case now := <-t.C:
+			s.evaluateScale(now)
+		}
+	}
+}
+
+// evaluateScale feeds one load sample to the policy and applies its
+// decision. Exposed on the Server (rather than inlined in controller) so
+// tests can step the pool without waiting out real intervals.
+func (s *Server) evaluateScale(now time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining || s.scaler == nil {
+		return
+	}
+	sample := LoadSample{Queue: len(s.queue), Busy: s.running, Workers: s.pool - s.retiring}
+	target, reason := s.scaler.Decide(now, sample)
+	if target == sample.Workers {
+		return
+	}
+	s.applyScaleLocked(sample.Workers, target, now, reason)
+}
+
+// applyScaleLocked resizes the effective pool from 'from' to 'target':
+// scale-ups first cancel pending retirements, then spawn; scale-downs
+// enqueue retire tokens that idle workers consume. Caller holds s.mu.
+func (s *Server) applyScaleLocked(from, target int, now time.Time, reason string) {
+	delta := target - from
+cancel:
+	for delta > 0 && s.retiring > 0 {
+		select {
+		case <-s.retire:
+			s.retiring--
+			delta--
+		default:
+			// A token already raced to a worker (it will exit and account
+			// for itself); spawn the remainder instead.
+			break cancel
+		}
+	}
+	if delta > 0 {
+		s.spawnLocked(delta)
+	}
+	for i := 0; i < -delta; i++ {
+		select {
+		case s.retire <- struct{}{}:
+			s.retiring++
+		default: // channel full (cap Max): every worker already has a token
+		}
+	}
+	if target > from {
+		s.metrics.ScaleUps++
+	} else {
+		s.metrics.ScaleDowns++
+	}
+	s.scaleEvents = append(s.scaleEvents, ScaleEvent{At: now, From: from, To: target, Reason: reason})
+	s.logf("serve: scale %d -> %d workers (%s)", from, target, reason)
+}
+
+// ScaleEvents returns a copy of the applied scaling decisions, oldest
+// first.
+func (s *Server) ScaleEvents() []ScaleEvent {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]ScaleEvent(nil), s.scaleEvents...)
 }
 
 // runJob executes one dequeued job unless it was cancelled while queued.
@@ -485,10 +622,51 @@ func (s *Server) Metrics() Metrics {
 	m.Running = s.running
 	m.QueueDepth = len(s.queue)
 	m.QueueCap = s.cfg.QueueDepth
-	m.Workers = s.cfg.Workers
+	m.Workers = s.pool - s.retiring
+	m.WorkersBusy = s.running
+	if s.scaler != nil {
+		m.WorkersMin = s.scaler.Config().Min
+		m.WorkersMax = s.scaler.Config().Max
+	} else {
+		m.WorkersMin = s.cfg.Workers
+		m.WorkersMax = s.cfg.Workers
+	}
 	m.Jobs = len(s.jobs)
 	m.Draining = s.draining
 	return m
+}
+
+// FlushCache drops every cached result (the jobs in done state, with
+// their traces and status records) so subsequent identical specs
+// recompute. Queued and running jobs are untouched. It returns the number
+// of results flushed. Wired to POST /v1/cache/flush; the load driver's
+// cache-flush scheduled event uses it to model cold-cache storms.
+func (s *Server) FlushCache() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := len(s.lru)
+	for _, id := range s.lru {
+		j := s.jobs[id]
+		if j == nil {
+			n--
+			continue
+		}
+		if s.byKey[j.Key] == j {
+			delete(s.byKey, j.Key)
+		}
+		delete(s.jobs, id)
+		for i, oid := range s.order {
+			if oid == id {
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				break
+			}
+		}
+	}
+	s.lru = nil
+	if n > 0 {
+		s.logf("serve: cache flushed (%d results)", n)
+	}
+	return n
 }
 
 // Drain gracefully shuts the pool down: new submissions are rejected
@@ -500,6 +678,9 @@ func (s *Server) Drain(ctx context.Context) error {
 	if !s.draining {
 		s.draining = true
 		close(s.queue)
+		if s.ctlStop != nil {
+			close(s.ctlStop)
+		}
 	}
 	s.mu.Unlock()
 

@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Smoke test for the load-replay battery (internal/loadgen): start
+# mlbenchd with the elastic worker pool, replay profiles/smoke.yaml at
+# its baked-in time compression with `mlbench load`, require the SLO
+# verdict to pass (exit 0), sanity-check the timeline CSV and summary
+# JSON artifacts, then SIGTERM the server and require a clean drain.
+#
+# Usage: scripts/load_smoke.sh [path-to-mlbenchd] [path-to-mlbench]
+set -euo pipefail
+
+SERVER="${1:-./mlbenchd}"
+CLI="${2:-./mlbench}"
+ADDR="127.0.0.1:18081"
+BASE="http://$ADDR"
+PROFILE="profiles/smoke.yaml"
+CSV="load-smoke.csv"
+SUMMARY="load-smoke.summary.json"
+
+fail() { echo "load_smoke: FAIL: $*" >&2; exit 1; }
+
+"$SERVER" -addr "$ADDR" -minworkers 1 -maxworkers 4 &
+PID=$!
+cleanup() { kill -9 "$PID" 2>/dev/null || true; }
+trap cleanup EXIT
+
+for _ in $(seq 1 100); do
+  curl -sf "$BASE/healthz" >/dev/null 2>&1 && break
+  sleep 0.1
+done
+curl -sf "$BASE/healthz" >/dev/null || fail "server did not become ready"
+
+# 1. Replay the smoke profile. `mlbench load` exits 0 only when the
+# replay finished and every SLO verdict in the profile passed.
+"$CLI" load -profile "$PROFILE" -target "$BASE" -csv "$CSV" -summary "$SUMMARY" \
+  || fail "load replay or SLO verdict failed"
+echo "load_smoke: SLO verdicts passed"
+
+# 2. The timeline artifact: header row plus one row per bucket, and at
+# least one bucket actually completed work.
+head -1 "$CSV" | grep -q '^bucket,start_sec,issued,completed' || fail "timeline CSV header malformed: $(head -1 "$CSV")"
+rows=$(( $(wc -l < "$CSV") - 1 ))
+[ "$rows" -ge 6 ] || fail "timeline CSV has only $rows bucket rows"
+awk -F, 'NR>1 {c+=$4} END {exit c>0?0:1}' "$CSV" || fail "no completions recorded in the timeline"
+echo "load_smoke: timeline CSV OK ($rows buckets)"
+
+# 3. The summary artifact: machine-readable verdicts with pass: true.
+grep -q '"pass": true' "$SUMMARY" || fail "summary JSON not passing: $(cat "$SUMMARY")"
+grep -q '"verdicts"' "$SUMMARY" || fail "summary JSON missing verdicts: $(cat "$SUMMARY")"
+echo "load_smoke: summary JSON OK"
+
+# 4. The elastic pool saw the load: the server's own metrics report the
+# autoscaler bounds the flags configured.
+metrics=$(curl -sf "$BASE/v1/metrics") || fail "metrics download failed"
+[[ "$metrics" == *'"workers_max": 4'* ]] || fail "autoscaler not enabled on the server: $metrics"
+echo "load_smoke: autoscaler metrics OK"
+
+# 5. SIGTERM must drain gracefully and exit 0.
+kill -TERM "$PID"
+rc=0
+wait "$PID" || rc=$?
+trap - EXIT
+[ "$rc" -eq 0 ] || fail "server exited $rc on SIGTERM (want clean drain, 0)"
+echo "load_smoke: graceful drain OK"
+echo "load_smoke: PASS"
