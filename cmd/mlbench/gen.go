@@ -1,0 +1,100 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+
+	"mlbench/internal/datagen"
+)
+
+// cmdGen materializes a synthetic dataset from a declarative spec file or
+// a built-in scenario, prints a summary ending in the canonical
+// fingerprint line (the datagen-smoke CI job greps it), and optionally
+// writes the full dataset as JSON.
+func cmdGen(args []string) int {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	specFile := fs.String("spec", "", "dataset spec file (.json or the YAML subset; see datasets/smoke.yaml)")
+	scenario := fs.String("scenario", "", "built-in scenario instead of -spec: "+strings.Join(datagen.ScenarioNames(), ", "))
+	workers := fs.Int("workers", 0, "goroutines generating shards concurrently (0 = GOMAXPROCS); the dataset is byte-identical at any value")
+	out := fs.String("out", "", "write the full dataset as JSON to this file ('-' = stdout)")
+	fs.Parse(args)
+	if fs.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "gen: unexpected arguments: %v\n", fs.Args())
+		return 2
+	}
+	if (*specFile == "") == (*scenario == "") {
+		fmt.Fprintln(os.Stderr, "gen: exactly one of -spec or -scenario is required")
+		return 2
+	}
+
+	var spec datagen.DatasetSpec
+	if *specFile != "" {
+		s, err := datagen.LoadSpec(*specFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gen: %v\n", err)
+			return 1
+		}
+		spec = s
+	} else {
+		if err := datagen.ParseScenario(*scenario); err != nil || *scenario == "" {
+			fmt.Fprintf(os.Stderr, "gen: %v\n", err)
+			return 2
+		}
+		spec = *datagen.ScenarioSpec(*scenario)
+	}
+	w := *workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	d, err := datagen.Generate(spec, w)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gen: %v\n", err)
+		return 1
+	}
+
+	if len(d.Docs) > 0 {
+		fmt.Printf("corpus: %d docs, %d tokens\n", len(d.Docs), d.TokenCount())
+	}
+	if d.GMM != nil {
+		fmt.Printf("gmm: %d points, %d clusters\n", len(d.GMM.Points), len(d.GMM.Mu))
+	}
+	if d.Regression != nil {
+		fmt.Printf("regression: %d observations, %d regressors\n", len(d.Regression.X), len(d.Regression.TrueBeta))
+	}
+	if d.Graph != nil {
+		fmt.Printf("graph: %d vertices, %d edges\n", d.Graph.Vertices, d.EdgeCount())
+	}
+	if d.PartitionCounts != nil {
+		fmt.Printf("partition: %v\n", d.PartitionCounts)
+	}
+
+	if *out != "" {
+		f := os.Stdout
+		if *out != "-" {
+			var err error
+			f, err = os.Create(*out)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "gen: %v\n", err)
+				return 1
+			}
+		}
+		if err := d.WriteJSON(f); err != nil {
+			fmt.Fprintf(os.Stderr, "gen: write %s: %v\n", *out, err)
+			return 1
+		}
+		if *out != "-" {
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "gen: close %s: %v\n", *out, err)
+				return 1
+			}
+			fmt.Printf("wrote %s\n", *out)
+		}
+	}
+
+	// Last line, fixed format: the smoke script and docs rely on it.
+	fmt.Printf("fingerprint: %s\n", d.Fingerprint)
+	return 0
+}

@@ -16,6 +16,7 @@
 //	mlbench gate -baseline baseline.json     # gate: nonzero on regression
 //	mlbench serve -addr 127.0.0.1:8080       # the experiment service (mlbenchd)
 //	mlbench load -profile profiles/smoke.yaml -target http://127.0.0.1:8080
+//	mlbench gen -spec datasets/smoke.yaml -out corpus.json   # synthetic dataset
 //	mlbench list                             # available figures
 //	mlbench loc                              # lines-of-code table
 //
@@ -61,6 +62,8 @@ func main() {
 		os.Exit(serve.Main(args))
 	case "load":
 		os.Exit(cmdLoad(args))
+	case "gen":
+		os.Exit(cmdGen(args))
 	case "list":
 		os.Exit(cmdList(args))
 	case "loc":
@@ -84,6 +87,7 @@ Commands:
   gate   performance-regression gate: measure, record, compare baselines
   serve  long-running experiment service (HTTP/JSON + SSE; see cmd/mlbenchd)
   load   replay a time-compressed traffic profile against mlbenchd, judge SLOs
+  gen    generate a synthetic dataset from a spec file or named scenario
   list   list the available figures
   loc    print the lines-of-code table (the paper's LoC column analogue)
 
@@ -114,6 +118,7 @@ func specFlags(fs *flag.FlagSet) func() core.RunSpec {
 	sampler := fs.String("sampler", "", "LDA/HMM token sampler tier: dense (default, the historical O(T) scan), alias (exact per-token alias draw), or mhalias (cached Metropolis-Hastings alias kernel, LightLDA-style)")
 	shards := fs.Int("shards", 0, "parameter-server shard count for fig-ps (0 = one shard per machine)")
 	staleness := fs.Int("staleness", 0, "parameter-server staleness bound s for fig-ps (0 = synchronous, BSP-equivalent cycles)")
+	dataset := fs.String("dataset", "", "datagen scenario reshaping every task's synthetic data (skew-light, skew-heavy, imbal-2x, imbal-8x); empty = the paper's shapes")
 	return func() core.RunSpec {
 		return core.RunSpec{
 			Figure:     *figure,
@@ -126,6 +131,7 @@ func specFlags(fs *flag.FlagSet) func() core.RunSpec {
 			Sampler:    *sampler,
 			Shards:     *shards,
 			Staleness:  *staleness,
+			Dataset:    *dataset,
 			Faults: core.FaultConfig{Failures: *failures, FailAt: *failAt, Straggle: *straggle,
 				BSPCheckpointEvery: *ckpt, GASSnapshotEvery: *snap},
 			Trace: core.TraceSpec{Phases: *tracef, Out: *traceOut, CSV: *traceCSV, Metrics: *metrics},

@@ -27,7 +27,7 @@ func figPS(o Options) *Figure {
 	py := sim.ProfilePython
 	gmmPlain := gmmCfg(o, 10, false)
 	gmmSV := gmmCfg(o, 10, true)
-	lassoC := lassotask.Config{P: 1000, PointsPerMachine: 100_000, Iterations: o.Iterations}
+	lassoC := lassoCfg(o)
 	lassoSV := lassoC
 	lassoSV.SuperVertex = true
 	ldaC := ldaCfg(o)

@@ -48,6 +48,11 @@ var implFiles = []struct {
 	{"Imputation", "Spark", "imputetask/spark.go"},
 	{"Imputation", "SimSQL", "imputetask/simsql.go"},
 	{"Imputation", "Graph engines", "imputetask/graphs.go"},
+	// The synthetic-dataset generator is engine-independent support code,
+	// reported for the same "how much code did this take" signal.
+	{"Datagen", "Spec + scenarios", "../datagen/spec.go"},
+	{"Datagen", "Sharded generator", "../datagen/generate.go"},
+	{"Datagen", "Skewed workloads", "../workload/skew.go"},
 }
 
 // LinesOfCode counts the non-blank, non-comment lines of every task

@@ -63,6 +63,15 @@ type Options struct {
 	// Metropolis-Hastings kernel. It changes every sampled stream, so it
 	// is part of the run identity (RunSpec cache key).
 	Sampler randgen.SamplerTier
+	// Dataset is a datagen scenario name (the "-dataset" CLI flag)
+	// reshaping every task's synthetic data: word/topic skew and
+	// doc-length law for the text tasks, covariance conditioning and
+	// mixture imbalance for GMM, regressor correlation for Lasso, and
+	// partition imbalance for all of them. Empty runs the historical
+	// paper-shape generators, byte-identical to before the knob existed.
+	// It changes the sampled data, so it is part of the run identity
+	// (RunSpec cache key).
+	Dataset string
 	// HostWorkers bounds the host goroutines executing simulated machines
 	// concurrently (the "-workers" CLI flag): 0 uses GOMAXPROCS, 1 runs
 	// sequentially. Virtual-clock results are identical for any value.
@@ -325,6 +334,7 @@ func Figures(o Options) []*Figure {
 		fig6(o),
 		fig7(o), fig7b(o), fig7c(o),
 		figPS(o),
+		figSkew(o), figImbal(o),
 	}
 }
 
@@ -345,7 +355,7 @@ func gmmCfg(o Options, d int, sv bool) gmmtask.Config {
 	if d == 100 {
 		pts = 1_000_000
 	}
-	return gmmtask.Config{K: 10, D: d, PointsPerMachine: pts, Iterations: o.Iterations, SuperVertex: sv}
+	return gmmtask.Config{K: 10, D: d, PointsPerMachine: pts, Iterations: o.Iterations, SuperVertex: sv, Dataset: o.Dataset}
 }
 
 // gmmScale picks the scale so each machine holds a manageable number of
@@ -459,8 +469,12 @@ func fig1c(o Options) *Figure {
 
 // --- Bayesian Lasso (Figure 2) ---
 
+func lassoCfg(o Options) lassotask.Config {
+	return lassotask.Config{P: 1000, PointsPerMachine: 100_000, Iterations: o.Iterations, Dataset: o.Dataset}
+}
+
 func fig2(o Options) *Figure {
-	cfg := lassotask.Config{P: 1000, PointsPerMachine: 100_000, Iterations: o.Iterations}
+	cfg := lassoCfg(o)
 	svCfg := cfg
 	svCfg.SuperVertex = true
 	scaleFor := func(machines int) float64 {
@@ -496,7 +510,7 @@ func fig2(o Options) *Figure {
 // --- HMM (Figure 3) ---
 
 func hmmCfg(o Options) hmmtask.Config {
-	return hmmtask.Config{K: 20, V: 10_000, DocsPerMachine: 2_500_000, AvgDocLen: 210, Iterations: o.Iterations, Sampler: o.Sampler}
+	return hmmtask.Config{K: 20, V: 10_000, DocsPerMachine: 2_500_000, AvgDocLen: 210, Iterations: o.Iterations, Sampler: o.Sampler, Dataset: o.Dataset}
 }
 
 const hmmScale = 25_000 // 100 real documents per machine
@@ -563,7 +577,7 @@ type runVariantFn = runFn
 // --- LDA (Figure 4) ---
 
 func ldaCfg(o Options) ldatask.Config {
-	return ldatask.Config{T: 100, V: 10_000, DocsPerMachine: 2_500_000, AvgDocLen: 210, Iterations: o.Iterations, Sampler: o.Sampler}
+	return ldatask.Config{T: 100, V: 10_000, DocsPerMachine: 2_500_000, AvgDocLen: 210, Iterations: o.Iterations, Sampler: o.Sampler, Dataset: o.Dataset}
 }
 
 const ldaScale = 25_000

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"strings"
 
+	"mlbench/internal/datagen"
 	"mlbench/internal/randgen"
 	"mlbench/internal/trace"
 )
@@ -51,6 +52,11 @@ type RunSpec struct {
 	// per-element alias draw), or "mhalias" (cached Metropolis-Hastings).
 	// It changes every sampled stream, so it is cache-keyed.
 	Sampler string `json:"sampler,omitempty"`
+	// Dataset is a datagen scenario name (datagen.ScenarioNames) reshaping
+	// every task's synthetic data; empty runs the historical paper-shape
+	// generators, byte-identical to before the knob existed. It changes
+	// the sampled data, so it is cache-keyed.
+	Dataset string `json:"dataset,omitempty"`
 	// Faults injects machine crashes and stragglers.
 	Faults FaultConfig `json:"faults"`
 	// Trace selects trace capture and export.
@@ -173,6 +179,9 @@ func (s RunSpec) Validate() error {
 	if _, err := randgen.ParseSamplerTier(s.Sampler); err != nil {
 		return fmt.Errorf("bench: %w", err)
 	}
+	if err := datagen.ParseScenario(s.Dataset); err != nil {
+		return fmt.Errorf("bench: %w", err)
+	}
 	if s.Faults.Failures < 0 {
 		return fmt.Errorf("bench: failures must be >= 0, got %d", s.Faults.Failures)
 	}
@@ -203,11 +212,12 @@ type keyDoc struct {
 	Shards       int     `json:"shards"`
 	Staleness    int     `json:"staleness"`
 	Sampler      string  `json:"sampler"`
+	Dataset      string  `json:"dataset"`
 	TracePhases  bool    `json:"trace_phases"`
 	TraceMetrics bool    `json:"trace_metrics"`
 }
 
-const keyVersion = 3
+const keyVersion = 4
 
 // CacheKey returns the canonical content hash of the spec: the SHA-256 of
 // a fixed-order JSON document over the normalized result-affecting
@@ -226,7 +236,7 @@ func (s RunSpec) CacheKey() string {
 		Seed:     n.Seed,
 		Failures: n.Faults.Failures, FailAt: n.Faults.FailAt, Straggle: n.Faults.Straggle,
 		Ckpt: n.Faults.BSPCheckpointEvery, Snap: n.Faults.GASSnapshotEvery,
-		Shards: n.Shards, Staleness: n.Staleness, Sampler: n.Sampler,
+		Shards: n.Shards, Staleness: n.Staleness, Sampler: n.Sampler, Dataset: n.Dataset,
 		TracePhases: n.Trace.Phases, TraceMetrics: n.Trace.Metrics,
 	}
 	data, err := json.Marshal(doc)
@@ -252,6 +262,7 @@ func (s RunSpec) Options() Options {
 		PSShards:    s.Shards,
 		PSStaleness: s.Staleness,
 		Sampler:     tier,
+		Dataset:     s.Dataset,
 		Trace:       s.Trace.Phases,
 		TraceOut:    s.Trace.Out,
 		TraceCSV:    s.Trace.CSV,

@@ -15,7 +15,7 @@ func TestRunSpecJSONRoundTrip(t *testing.T) {
 	in := RunSpec{
 		Figure: "fig2", Row: "SimSQL", Col: "20m",
 		Iterations: 3, ScaleDiv: 0.5, Seed: 7, Workers: 4,
-		Shards: 3, Staleness: 2, Sampler: "mhalias",
+		Shards: 3, Staleness: 2, Sampler: "mhalias", Dataset: "skew-heavy",
 		Faults: FaultConfig{Failures: 2, FailAt: 0.25, Straggle: 4, BSPCheckpointEvery: 2, GASSnapshotEvery: -1},
 		Trace:  TraceSpec{Phases: true, Out: "t.json", CSV: "t.csv", Metrics: true},
 	}
@@ -49,17 +49,19 @@ func TestRunSpecCacheKeyGolden(t *testing.T) {
 		key  string
 	}{
 		{"zero-fig1a", RunSpec{Figure: "fig1a"},
-			"3652edd7cf9e1bba5c76b67ce1f43e43ad22a014a3c817711f418e04c8516f0a"},
+			"21164e1cdda2ec2e9e2399a7923dc04034552469a41eb9031f3b7fd57dac2d1e"},
 		{"cell", RunSpec{Figure: "fig6", Row: "Spark (Java)", Col: "5m"},
-			"9049c657686ba4073f918b0887716105d58b8e049cb5cb0e70747e9d4f737692"},
+			"bc6cf8c589a075540e079d5215ef51d5df6d35b19bc87ecbb75950a34fe4cfa0"},
 		{"faulted", RunSpec{Figure: "fig2", Faults: FaultConfig{Failures: 1}},
-			"116798b7575bd6c418af8ec0543747b488c26ea979b074abfbb1b91b60ed73ba"},
+			"8166b91031febd227e0b171855b3d7576e04f43ed9ac9d690c096296a798e0b0"},
 		{"traced", RunSpec{Figure: "fig1a", Trace: TraceSpec{Phases: true}},
-			"90f4e3e8987cde0a882457cfe30c506b3dea69932ada911fba2c54ffcc7c5d69"},
+			"bec1f3ee1c71a8fdd0260898a26f03fe67a74e38b2f7b05941a152175fd8b7d0"},
 		{"ps", RunSpec{Figure: "fig-ps", Shards: 3, Staleness: 2},
-			"c8e0fdc5e192fce4ce4fd0edaf4ccbb20c587f2ebeb123f5b37158eb120b4190"},
+			"e460f29e39785224139fe7b80f8994791e79175daf925f1237dd85c97f7123fc"},
 		{"mhalias-cell", RunSpec{Figure: "fig4b", Row: "Giraph", Col: "5m", Sampler: "mhalias"},
-			"210e66597a9b36c3859358c5a50795547d6d7b65ee856273d9e977edec2d3eb0"},
+			"f33e7ed9ace1d1c8d03ea60f2da5f81cbb2acc662409f269d064fd1679e730d0"},
+		{"dataset", RunSpec{Figure: "fig-imbal", Dataset: "imbal-8x"},
+			"b026b78268807bef8a6b8c6b1d078d8f23f8225d2b9dcf27d88f748c959d510e"},
 	}
 	for _, g := range golden {
 		if got := g.spec.CacheKey(); got != g.key {
@@ -97,6 +99,11 @@ func TestRunSpecCacheKeyEquivalence(t *testing.T) {
 		{Figure: "fig-ps", Staleness: 2},
 		{Figure: "fig1a", Sampler: "alias"},
 		{Figure: "fig1a", Sampler: "mhalias"},
+		{Figure: "fig1a", Dataset: "skew-light"},
+		{Figure: "fig1a", Dataset: "skew-heavy"},
+		{Figure: "fig-skew"},
+		{Figure: "fig-imbal"},
+		{Figure: "fig-imbal", Dataset: "imbal-2x"},
 	}
 	seen := map[string]int{base.CacheKey(): -1}
 	for i, s := range different {
@@ -132,6 +139,7 @@ func TestRunSpecValidateActionable(t *testing.T) {
 		{RunSpec{Figure: "fig-ps", Shards: -1}, []string{"shards"}},
 		{RunSpec{Figure: "fig-ps", Staleness: -2}, []string{"staleness"}},
 		{RunSpec{Figure: "fig4b", Sampler: "turbo"}, []string{`sampler tier "turbo"`, "dense", "mhalias"}},
+		{RunSpec{Figure: "fig-skew", Dataset: "skewy"}, []string{`dataset scenario "skewy"`, "skew-light", "imbal-8x"}},
 	}
 	for _, c := range cases {
 		err := c.spec.Validate()
@@ -204,6 +212,37 @@ func TestExecuteSpecMHAliasWorkerIdentity(t *testing.T) {
 	}
 	if res.Table.Cells["Giraph"]["5m"].String() == res3.Table.Cells["Giraph"]["5m"].String() {
 		t.Error("mhalias cell identical to dense; the tier did not reach the task")
+	}
+}
+
+// A dataset scenario must be byte-identical across worker counts — the
+// scenario generators shard their RNG streams the same way the
+// historical ones do — and must actually change the sampled data
+// relative to the paper shape.
+func TestExecuteSpecDatasetWorkerIdentity(t *testing.T) {
+	spec := RunSpec{Figure: "fig6", Row: "Spark (Java)", Col: "5m",
+		Iterations: 1, ScaleDiv: 0.02, Seed: 3, Dataset: "skew-heavy", Workers: 8}
+	res, err := ExecuteSpec(context.Background(), spec, ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec2 := spec
+	spec2.Workers = 1
+	res2, err := ExecuteSpec(context.Background(), spec2, ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Table.Render() != res2.Table.Render() {
+		t.Error("skew-heavy cell differs between 8 and 1 workers")
+	}
+	paper := spec
+	paper.Dataset = ""
+	res3, err := ExecuteSpec(context.Background(), paper, ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Table.Cells["Spark (Java)"]["5m"].String() == res3.Table.Cells["Spark (Java)"]["5m"].String() {
+		t.Error("skew-heavy cell identical to paper shape; the scenario did not reach the task")
 	}
 }
 

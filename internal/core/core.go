@@ -110,6 +110,10 @@ func (e Experiment) Spec() RunSpec {
 		ScaleDiv:   opts.ScaleDiv,
 		Seed:       opts.Seed,
 		Workers:    opts.HostWorkers,
+		Shards:     opts.PSShards,
+		Staleness:  opts.PSStaleness,
+		Sampler:    opts.Sampler.String(),
+		Dataset:    opts.Dataset,
 		Faults:     opts.Faults,
 		Trace:      TraceSpec{Phases: opts.Trace, Out: opts.TraceOut, CSV: opts.TraceCSV, Metrics: opts.Metrics},
 	}

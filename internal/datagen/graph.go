@@ -1,0 +1,58 @@
+package datagen
+
+import (
+	"math"
+
+	"mlbench/internal/randgen"
+)
+
+// Graph is a generated directed multigraph in adjacency-list form
+// (self-loops and parallel edges are allowed — what matters for the
+// engine layouts is the degree distribution, not simple-graph
+// invariants). Vertex v's out-edges are Adj[v].
+type Graph struct {
+	Vertices int       `json:"vertices"`
+	Adj      [][]int32 `json:"adj"`
+}
+
+// paretoSample draws from the continuous Pareto(xm, alpha) law,
+// CDF F(x) = 1 - (xm/x)^alpha for x >= xm — the closed form the
+// goodness-of-fit battery checks degree draws against.
+func paretoSample(rng *randgen.RNG, xm, alpha float64) float64 {
+	return xm * math.Pow(1-rng.Float64(), -1/alpha)
+}
+
+// sampleDegree draws one vertex out-degree. Exponent 0 is the regular
+// graph (constant AvgDegree); otherwise degrees are the integer part of
+// Pareto(MinDegree, Exponent-1) draws — the standard discrete power law
+// with tail exponent `Exponent` — capped at Vertices-1. In power-law mode
+// AvgDegree is ignored: the tail sets the mean.
+func sampleDegree(rng *randgen.RNG, g GraphSpec) int {
+	if g.Exponent == 0 {
+		return int(math.Round(g.AvgDegree))
+	}
+	deg := int(paretoSample(rng, float64(g.MinDegree), g.Exponent-1))
+	if max := g.Vertices - 1; deg > max {
+		deg = max
+	}
+	if deg < 1 {
+		deg = 1
+	}
+	return deg
+}
+
+// genGraphShard generates the adjacency lists of one shard's n vertices:
+// a degree draw followed by uniform endpoint draws over the whole vertex
+// set.
+func genGraphShard(rng *randgen.RNG, g GraphSpec, n int) [][]int32 {
+	adj := make([][]int32, n)
+	for v := range adj {
+		deg := sampleDegree(rng, g)
+		targets := make([]int32, deg)
+		for e := range targets {
+			targets[e] = int32(rng.Intn(g.Vertices))
+		}
+		adj[v] = targets
+	}
+	return adj
+}

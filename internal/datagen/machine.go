@@ -1,0 +1,59 @@
+package datagen
+
+import (
+	"mlbench/internal/linalg"
+	"mlbench/internal/randgen"
+	"mlbench/internal/workload"
+)
+
+// This file is the bridge the task packages (internal/tasks/*) call from
+// their per-machine generators: the task keeps its paper dimensions
+// (vocabulary, topics, points per machine, ...) and the scenario spec
+// contributes only distributional shape and partition imbalance. A nil
+// spec — or a spec without the relevant section — means the historical
+// generator path, which the task keeps inline so its byte stream is
+// untouched.
+
+// MachineShare returns one machine's item count under the spec's
+// partition-imbalance control, given the balanced per-machine count. A
+// nil spec or a balanced partition returns base unchanged.
+func MachineShare(spec *DatasetSpec, machine, machines, base int) int {
+	if spec == nil || spec.Partition == nil || spec.Partition.Imbalance == 1 || machines <= 1 {
+		return base
+	}
+	return PartitionCounts(base*machines, machines, spec.Partition.Imbalance)[machine]
+}
+
+// MachineCorpus generates one machine's documents with the spec's corpus
+// shape and the task's dimensions. The caller guarantees spec.Corpus is
+// non-nil (it falls back to workload.GenCorpus otherwise).
+func MachineCorpus(spec *DatasetSpec, rng *randgen.RNG, docs, vocab, avgLen, topics int) [][]int {
+	c := spec.Corpus
+	return workload.GenCorpusSkewed(rng, workload.SkewedCorpusConfig{
+		Docs: docs, Vocab: vocab, AvgLen: avgLen, Topics: topics,
+		ZipfS: c.ZipfS, TopicSkew: c.TopicSkew, Background: c.Background,
+		LenDist: c.DocLen.Dist, LenSigma: c.DocLen.Sigma,
+	})
+}
+
+// MachineGMM generates one machine's points from the shared planted
+// mixture: like the historical path, the mixture is drawn from the shared
+// root RNG so every machine samples the same planted structure, and the
+// machine's stream is Split off the root. The caller guarantees spec.GMM
+// is non-nil.
+func MachineGMM(spec *DatasetSpec, root *randgen.RNG, machine, n, k, d int) []linalg.Vec {
+	g := spec.GMM
+	mix := workload.NewPlantedMixture(root, workload.SkewedGMMConfig{
+		D: d, K: k,
+		Separation: g.Separation, CovCondition: g.CovCondition, Imbalance: g.Imbalance,
+	})
+	return workload.GenGMMSkewedAt(root.Split(uint64(machine)), mix, n).Points
+}
+
+// MachineRegression generates one machine's observations from the shared
+// planted coefficients with the spec's correlation structure. The caller
+// guarantees spec.Regression is non-nil.
+func MachineRegression(spec *DatasetSpec, rng *randgen.RNG, beta linalg.Vec, n int) *workload.RegressionData {
+	r := spec.Regression
+	return workload.GenRegressionCorrelated(rng, beta, n, r.Noise, r.Correlation)
+}

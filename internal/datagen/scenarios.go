@@ -1,0 +1,102 @@
+package datagen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Scenario is a named, built-in DatasetSpec carrying distributional shape
+// only: when a benchmark run references one (RunSpec.Dataset, task
+// Config.Dataset), the task keeps its paper dimensions (vocabulary,
+// topics, points per machine, ...) and the scenario reshapes how the data
+// is distributed. The empty name is the historical paper shape.
+type Scenario struct {
+	Name        string
+	Description string
+	Spec        DatasetSpec
+}
+
+// scenarios is the built-in registry. The skew-* pair stresses
+// distributional shape on balanced partitions; the imbal-* pair keeps the
+// paper's distributions and skews only the per-machine load.
+var scenarios = []Scenario{
+	{
+		Name:        "skew-light",
+		Description: "mild heavy-tail: Zipf 1.3 words, lognormal lengths, gentle topic/mixture skew",
+		Spec: DatasetSpec{
+			Name:       "skew-light",
+			Corpus:     &CorpusSpec{ZipfS: 1.3, TopicSkew: 0.8, DocLen: DocLenSpec{Dist: "lognormal", Sigma: 0.6}},
+			GMM:        &GMMSpec{CovCondition: 4, Imbalance: 0.8},
+			Regression: &RegressionSpec{Correlation: 0.5},
+			Graph:      &GraphSpec{Exponent: 2.5},
+		},
+	},
+	{
+		Name:        "skew-heavy",
+		Description: "heavy tail: Zipf 1.7 words, wide lognormal lengths, strong topic/mixture skew",
+		Spec: DatasetSpec{
+			Name:       "skew-heavy",
+			Corpus:     &CorpusSpec{ZipfS: 1.7, TopicSkew: 1.5, DocLen: DocLenSpec{Dist: "lognormal", Sigma: 1.0}},
+			GMM:        &GMMSpec{Separation: 4, CovCondition: 16, Imbalance: 1.5},
+			Regression: &RegressionSpec{Correlation: 0.9},
+			Graph:      &GraphSpec{Exponent: 2.1},
+		},
+	},
+	{
+		Name:        "imbal-2x",
+		Description: "paper distributions, last machine loaded 2x the first",
+		Spec: DatasetSpec{
+			Name:      "imbal-2x",
+			Partition: &PartitionSpec{Imbalance: 2},
+		},
+	},
+	{
+		Name:        "imbal-8x",
+		Description: "paper distributions, last machine loaded 8x the first",
+		Spec: DatasetSpec{
+			Name:      "imbal-8x",
+			Partition: &PartitionSpec{Imbalance: 8},
+		},
+	},
+}
+
+// Scenarios lists the built-in scenarios sorted by name.
+func Scenarios() []Scenario {
+	out := append([]Scenario(nil), scenarios...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ScenarioNames lists the valid non-empty Dataset values.
+func ScenarioNames() []string {
+	names := make([]string, 0, len(scenarios))
+	for _, s := range Scenarios() {
+		names = append(names, s.Name)
+	}
+	return names
+}
+
+// ScenarioSpec resolves a scenario name to its normalized spec, or nil
+// for the empty name (the historical generators) and for unknown names —
+// callers that need an error use ParseScenario first.
+func ScenarioSpec(name string) *DatasetSpec {
+	for i := range scenarios {
+		if scenarios[i].Name == name {
+			s := scenarios[i].Spec.Normalize()
+			return &s
+		}
+	}
+	return nil
+}
+
+// ParseScenario validates a Dataset value: the empty string (historical
+// shape) and the built-in scenario names are accepted; anything else gets
+// an actionable error listing the valid names.
+func ParseScenario(name string) error {
+	if name == "" || ScenarioSpec(name) != nil {
+		return nil
+	}
+	return fmt.Errorf("unknown dataset scenario %q (valid: %s, or empty for the paper shape)",
+		name, strings.Join(ScenarioNames(), ", "))
+}

@@ -17,8 +17,16 @@ var update = flag.Bool("update", false, "rewrite the loadgen golden files")
 // clock + fake autoscaling server and returns the result plus the
 // rendered CSV and summary bytes.
 func goldenReplay(t *testing.T) (*Result, []byte, []byte) {
+	return replayProfile(t, "ramp-burst-drain")
+}
+
+// replayProfile replays one checked-in profile on a fresh fake clock +
+// fake autoscaling server (the same server model for every profile, so
+// golden files differ only by the traffic) and returns the result plus
+// the rendered CSV and summary bytes.
+func replayProfile(t *testing.T, name string) (*Result, []byte, []byte) {
 	t.Helper()
-	p, err := LoadProfile(filepath.Join("..", "..", "profiles", "ramp-burst-drain.yaml"))
+	p, err := LoadProfile(filepath.Join("..", "..", "profiles", name+".yaml"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,5 +170,80 @@ func TestGoldenRampBurstDrain(t *testing.T) {
 	}
 	if maxWorkers != s.MaxWorkers {
 		t.Errorf("bucket worker trace max %d != summary max %d", maxWorkers, s.MaxWorkers)
+	}
+}
+
+// TestGoldenSkewScenarioMix replays profiles/skew.yaml — the same LDA
+// figure under the paper corpus shape and the skew-light/skew-heavy
+// datagen scenarios, plus unique-seed imbalance runs — and pins the
+// timeline with golden files. The load-bearing property: the `dataset`
+// field is part of the run's cache key, so the three fixed templates
+// land on three distinct cache entries instead of collapsing into one
+// coalesced job.
+func TestGoldenSkewScenarioMix(t *testing.T) {
+	res, csv, sum := replayProfile(t, "skew")
+
+	// Byte-stable: a second fresh replay renders the identical files.
+	_, csv2, sum2 := replayProfile(t, "skew")
+	if !bytes.Equal(csv, csv2) {
+		t.Fatalf("timeline CSV differs between two identical replays:\n--- first\n%s\n--- second\n%s", csv, csv2)
+	}
+	if !bytes.Equal(sum, sum2) {
+		t.Fatalf("summary differs between two identical replays:\n--- first\n%s\n--- second\n%s", sum, sum2)
+	}
+
+	csvGolden := filepath.Join("testdata", "skew.csv")
+	sumGolden := filepath.Join("testdata", "skew.summary.json")
+	if *update {
+		if err := os.WriteFile(csvGolden, csv, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(sumGolden, sum, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantCSV, err := os.ReadFile(csvGolden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	wantSum, err := os.ReadFile(sumGolden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(csv, wantCSV) {
+		t.Errorf("timeline CSV drifted from golden (run with -update if intended):\n--- got\n%s\n--- want\n%s", csv, wantCSV)
+	}
+	if !bytes.Equal(sum, wantSum) {
+		t.Errorf("summary drifted from golden (run with -update if intended):\n--- got\n%s\n--- want\n%s", sum, wantSum)
+	}
+
+	// Every template spec maps to its own cache key: the dataset scenario
+	// must separate otherwise-identical specs (paper vs skew-light vs
+	// skew-heavy differ only in the dataset field).
+	p, err := LoadProfile(filepath.Join("..", "..", "profiles", "skew.yaml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := map[string]string{}
+	for _, tpl := range p.Templates {
+		k := tpl.Spec.Normalize().CacheKey()
+		if prev, dup := keys[k]; dup {
+			t.Errorf("templates %q and %q share cache key %s (dataset not keyed?)", prev, tpl.Name, k)
+		}
+		keys[k] = tpl.Name
+	}
+
+	// Behavioral spine: the fixed templates repeat into cache hits, the
+	// unique-seed imbalance stream keeps fresh work arriving, and every
+	// SLO verdict (p99, zero errors, zero 503s, completion floor) passes.
+	s := res.Summary
+	if s.CacheHits == 0 {
+		t.Error("fixed scenario templates produced no cache hits")
+	}
+	if s.Errors != 0 {
+		t.Errorf("scenario specs were rejected by the server: %d errors", s.Errors)
+	}
+	if !s.Pass {
+		t.Errorf("SLO verdicts failed: %+v", s.Verdicts)
 	}
 }

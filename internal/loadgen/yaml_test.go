@@ -9,76 +9,8 @@ import (
 	"testing"
 )
 
-func TestYAMLToJSONSubset(t *testing.T) {
-	in := `
-# header comment
-name: demo
-compression: 100
-seed: 42
-nested:
-  a: 1
-  b: "quoted # not a comment"
-  c: 'single'
-  flag: true
-  nothing: null
-list:
-  - 1
-  - two
-  - key: v
-    other: 2.5
-blocks:
-  - name: x
-    spec:
-      figure: fig1a
-`
-	got, err := yamlToJSON([]byte(in))
-	if err != nil {
-		t.Fatal(err)
-	}
-	var v map[string]any
-	if err := json.Unmarshal(got, &v); err != nil {
-		t.Fatalf("invalid JSON %s: %v", got, err)
-	}
-	want := map[string]any{
-		"name":        "demo",
-		"compression": 100.0,
-		"seed":        42.0,
-		"nested": map[string]any{
-			"a": 1.0, "b": "quoted # not a comment", "c": "single",
-			"flag": true, "nothing": nil,
-		},
-		"list": []any{1.0, "two", map[string]any{"key": "v", "other": 2.5}},
-		"blocks": []any{
-			map[string]any{"name": "x", "spec": map[string]any{"figure": "fig1a"}},
-		},
-	}
-	if !reflect.DeepEqual(v, want) {
-		t.Fatalf("parsed:\n%#v\nwant:\n%#v", v, want)
-	}
-}
-
-func TestYAMLErrors(t *testing.T) {
-	cases := []struct {
-		name, in, want string
-	}{
-		{"tabs", "a:\n\tb: 1", "tabs are not allowed"},
-		{"no colon", "just a bare line", "expected 'key: value'"},
-		{"no space after colon", "a:1", "expected a space after ':'"},
-		{"bad indent", "a: 1\n   b: 2", "unexpected indentation"},
-		{"dup key", "a: 1\na: 2", "duplicate key"},
-	}
-	for _, tc := range cases {
-		t.Run(tc.name, func(t *testing.T) {
-			_, err := yamlToJSON([]byte(tc.in))
-			if err == nil {
-				t.Fatalf("accepted %q", tc.in)
-			}
-			if !strings.Contains(err.Error(), tc.want) {
-				t.Fatalf("error %q does not mention %q", err, tc.want)
-			}
-		})
-	}
-}
+// The YAML-subset reader itself is tested in internal/yamlite; these
+// tests cover the profile-level loading built on top of it.
 
 func TestLoadProfileYAMLMatchesJSON(t *testing.T) {
 	yamlPath := filepath.Join("..", "..", "profiles", "ramp-burst-drain.yaml")
@@ -133,5 +65,9 @@ func TestLoadProfileRejectsBadInput(t *testing.T) {
 	}
 	if _, err := LoadProfile(write("y.yaml", "name: t")); err == nil {
 		t.Fatal("invalid profile accepted (no templates)")
+	}
+	if _, err := LoadProfile(write("z.yaml", "a:\n\tb: 1")); err == nil ||
+		!strings.Contains(err.Error(), "tabs are not allowed") {
+		t.Fatalf("yamlite error not surfaced: %v", err)
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"mlbench/internal/bench"
+	"mlbench/internal/datagen"
 	"mlbench/internal/linalg"
 	"mlbench/internal/models/hmm"
 	"mlbench/internal/models/lda"
@@ -39,6 +40,7 @@ func MicroSpecs() []Spec {
 		psShardFoldSpec(),
 		runPhaseMergeSpec(),
 		traceExportSpec(),
+		datagenCorpusSpec(),
 	}
 }
 
@@ -245,6 +247,35 @@ func traceExportSpec() Spec {
 				if err := trace.WriteCSV(io.Discard, rec); err != nil {
 					return err
 				}
+			}
+			return nil
+		},
+	}
+}
+
+// datagenCorpusSpec: one op = materializing a small heavy-tailed corpus
+// through the sharded dataset generator, canonical fingerprint included —
+// the setup cost every datagen-backed run and the datagen-smoke CI job
+// pay.
+func datagenCorpusSpec() Spec {
+	spec := datagen.DatasetSpec{
+		Name: "gate-corpus", Seed: 29, Shards: 8,
+		Corpus: &datagen.CorpusSpec{
+			Docs: 64, Vocab: 2000, Topics: 8, ZipfS: 1.4, TopicSkew: 1,
+			DocLen: datagen.DocLenSpec{Dist: "lognormal", Mean: 120, Sigma: 0.8},
+		},
+	}
+	return Spec{
+		Name:   "micro:datagen-corpus",
+		N:      50,
+		Warmup: 1,
+		Run: func(n int) error {
+			for i := 0; i < n; i++ {
+				d, err := datagen.Generate(spec, 1)
+				if err != nil {
+					return err
+				}
+				Sink += float64(d.TokenCount())
 			}
 			return nil
 		},

@@ -1,0 +1,63 @@
+package randgen
+
+import (
+	"math"
+	"sort"
+)
+
+// Goodness-of-fit statistics shared by the sampler test batteries (this
+// package's gof_test.go and the internal/datagen generator battery).
+// They are plain math, deliberately free of *testing.T, so non-test
+// packages' tests can reuse them against closed-form CDFs.
+
+// KSStat returns the Kolmogorov-Smirnov statistic sup |F_n(x) - F(x)| of
+// the empirical distribution of xs against the CDF.
+func KSStat(xs []float64, cdf func(float64) float64) float64 {
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	n := float64(len(sorted))
+	var d float64
+	for i, x := range sorted {
+		f := cdf(x)
+		if hi := (float64(i)+1)/n - f; hi > d {
+			d = hi
+		}
+		if lo := f - float64(i)/n; lo > d {
+			d = lo
+		}
+	}
+	return d
+}
+
+// KSCritical returns the alpha ~ 0.001 Kolmogorov-Smirnov critical value
+// 1.95/sqrt(n): a fixed-seed draw whose statistic exceeds it indicates a
+// sampler bug, not sampling noise.
+func KSCritical(n int) float64 {
+	return 1.95 / math.Sqrt(float64(n))
+}
+
+// ChiSquaredStat returns sum (obs - exp)^2 / exp over the buckets.
+// Buckets with non-positive expectation are skipped; callers should merge
+// tail buckets until every expectation is comfortably above ~5.
+func ChiSquaredStat(obs, exp []float64) float64 {
+	var chi2 float64
+	for i := range obs {
+		if exp[i] <= 0 {
+			continue
+		}
+		d := obs[i] - exp[i]
+		chi2 += d * d / exp[i]
+	}
+	return chi2
+}
+
+// ChiSquaredCritical returns the approximate alpha ~ 0.001 critical value
+// of the chi-squared distribution with df degrees of freedom, via the
+// Wilson-Hilferty cube approximation (z = 3.09 is the standard-normal
+// 0.999 quantile). Accurate to a few percent for df >= 3, which is all a
+// pass/fail gate at this alpha needs.
+func ChiSquaredCritical(df float64) float64 {
+	const z = 3.09
+	t := 1 - 2/(9*df) + z*math.Sqrt(2/(9*df))
+	return df * t * t * t
+}

@@ -2,7 +2,6 @@ package randgen
 
 import (
 	"math"
-	"sort"
 	"testing"
 
 	"mlbench/internal/linalg"
@@ -13,33 +12,16 @@ import (
 // CDF (or a closed-form reduction to one) and applies a Kolmogorov-
 // Smirnov or chi-squared test. Seeds are fixed, so a pass is
 // deterministic; thresholds sit at the alpha ~ 0.001 critical values so
-// a genuine sampler bug — not sampling noise — is what trips them.
-
-// ksStat returns the Kolmogorov-Smirnov statistic sup |F_n(x) - F(x)| of
-// the empirical distribution of xs against the CDF.
-func ksStat(xs []float64, cdf func(float64) float64) float64 {
-	sorted := append([]float64(nil), xs...)
-	sort.Float64s(sorted)
-	n := float64(len(sorted))
-	var d float64
-	for i, x := range sorted {
-		f := cdf(x)
-		if hi := (float64(i)+1)/n - f; hi > d {
-			d = hi
-		}
-		if lo := f - float64(i)/n; lo > d {
-			d = lo
-		}
-	}
-	return d
-}
+// a genuine sampler bug — not sampling noise — is what trips them. The
+// statistics themselves (KSStat, ChiSquaredStat, the critical values)
+// live in gof.go so other packages' batteries can reuse them.
 
 // checkKS fails when the KS statistic exceeds the alpha = 0.001 critical
 // value 1.95/sqrt(n).
 func checkKS(t *testing.T, name string, xs []float64, cdf func(float64) float64) {
 	t.Helper()
-	d := ksStat(xs, cdf)
-	crit := 1.95 / math.Sqrt(float64(len(xs)))
+	d := KSStat(xs, cdf)
+	crit := KSCritical(len(xs))
 	if d > crit {
 		t.Errorf("%s: KS statistic %.5f exceeds critical value %.5f (n=%d)", name, d, crit, len(xs))
 	}
@@ -101,15 +83,14 @@ func TestDirichletArgmaxUniform(t *testing.T) {
 		}
 		counts[best]++
 	}
-	var chi2 float64
-	exp := float64(n) / k
-	for _, c := range counts {
-		d := c - exp
-		chi2 += d * d / exp
+	exp := make([]float64, k)
+	for i := range exp {
+		exp[i] = float64(n) / k
 	}
-	// Chi-squared with k-1 = 3 degrees of freedom: 16.27 at alpha = 0.001.
-	if chi2 > 16.27 {
-		t.Errorf("Dirichlet argmax not uniform: chi2 = %.2f, counts = %v", chi2, counts)
+	chi2 := ChiSquaredStat(counts, exp)
+	// Chi-squared with k-1 = 3 degrees of freedom (~16.27 at alpha = 0.001).
+	if crit := ChiSquaredCritical(k - 1); chi2 > crit {
+		t.Errorf("Dirichlet argmax not uniform: chi2 = %.2f > %.2f, counts = %v", chi2, crit, counts)
 	}
 }
 

@@ -5,6 +5,7 @@
 package gmmtask
 
 import (
+	"mlbench/internal/datagen"
 	"mlbench/internal/linalg"
 	"mlbench/internal/randgen"
 	"mlbench/internal/sim"
@@ -26,6 +27,12 @@ type Config struct {
 	// 5.4 ablation: "Giraph's combiner functionality is used to reduce
 	// communication and increase load balancing during aggregation").
 	DisableCombiner bool
+	// Dataset names a datagen scenario reshaping the point cloud
+	// (covariance conditioning, mixture imbalance, partition imbalance);
+	// empty is the historical paper-shape generator, byte-identical to
+	// before the knob existed. Validated upstream (RunSpec.Validate /
+	// datagen.ParseScenario).
+	Dataset string
 }
 
 func (c Config) withDefaults() Config {
@@ -52,10 +59,16 @@ func (c Config) withDefaults() Config {
 
 // genMachineData deterministically generates one machine's real points.
 // All platforms share the same data for a given cluster seed, so learned
-// models are comparable across engines.
+// models are comparable across engines. A Dataset scenario reshapes the
+// mixture (and this machine's share of it); the empty scenario is the
+// historical generator, byte-identical.
 func genMachineData(cl *sim.Cluster, cfg Config, machine int) []linalg.Vec {
-	n := task.RealCount(cl, cfg.PointsPerMachine)
+	ds := datagen.ScenarioSpec(cfg.Dataset)
+	n := datagen.MachineShare(ds, machine, cl.NumMachines(), task.RealCount(cl, cfg.PointsPerMachine))
 	root := randgen.New(cfg.Seed ^ cl.Config().Seed)
+	if ds != nil && ds.GMM != nil {
+		return datagen.MachineGMM(ds, root, machine, n, cfg.K, cfg.D)
+	}
 	mu := workload.PlantedMeans(root, cfg.K, cfg.D, 8) // shared planted mixture
 	rng := root.Split(uint64(machine))
 	return workload.GenGMMAt(rng, mu, n).Points

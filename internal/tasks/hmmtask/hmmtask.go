@@ -7,6 +7,7 @@
 package hmmtask
 
 import (
+	"mlbench/internal/datagen"
 	"mlbench/internal/models/hmm"
 	"mlbench/internal/randgen"
 	"mlbench/internal/sim"
@@ -60,6 +61,11 @@ type Config struct {
 	// alias, or cached Metropolis-Hastings); the default dense tier is
 	// byte-identical to the historical sampler.
 	Sampler randgen.SamplerTier
+	// Dataset names a datagen scenario reshaping the corpus (word/topic
+	// skew, doc-length law, partition imbalance); empty is the historical
+	// paper-shape generator, byte-identical to before the knob existed.
+	// Validated upstream (RunSpec.Validate / datagen.ParseScenario).
+	Dataset string
 }
 
 func (c Config) withDefaults() Config {
@@ -90,13 +96,20 @@ func (c Config) withDefaults() Config {
 // hyper returns the model hyperparameters.
 func (c Config) hyper() hmm.Hyper { return hmm.Hyper{K: c.K, V: c.V, Alpha: 1, Beta: 0.5} }
 
-// genMachineDocs deterministically generates one machine's documents.
+// genMachineDocs deterministically generates one machine's documents. A
+// Dataset scenario reshapes the corpus (and this machine's share of it)
+// while keeping the task's dimensions; the empty scenario is the
+// historical generator, byte-identical.
 func genMachineDocs(cl *sim.Cluster, cfg Config, machine int) [][]int {
-	n := task.RealCount(cl, cfg.DocsPerMachine)
+	ds := datagen.ScenarioSpec(cfg.Dataset)
+	n := datagen.MachineShare(ds, machine, cl.NumMachines(), task.RealCount(cl, cfg.DocsPerMachine))
 	rng := randgen.New(cfg.Seed ^ cl.Config().Seed).Split(uint64(machine))
 	topics := cfg.K / 4
 	if topics < 2 {
 		topics = 2
+	}
+	if ds != nil && ds.Corpus != nil {
+		return datagen.MachineCorpus(ds, rng, n, cfg.V, cfg.AvgDocLen, topics)
 	}
 	return workload.GenCorpus(rng, workload.CorpusConfig{
 		Docs: n, Vocab: cfg.V, AvgLen: cfg.AvgDocLen, Topics: topics,

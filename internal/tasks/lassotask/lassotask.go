@@ -9,6 +9,7 @@
 package lassotask
 
 import (
+	"mlbench/internal/datagen"
 	"mlbench/internal/linalg"
 	"mlbench/internal/randgen"
 	"mlbench/internal/sim"
@@ -24,6 +25,12 @@ type Config struct {
 	Lambda           float64 // Lasso regularization
 	SuperVertex      bool    // Giraph: plain (fails) vs super-vertex
 	Seed             uint64
+	// Dataset names a datagen scenario reshaping the design matrix
+	// (AR(1) regressor correlation, partition imbalance); empty is the
+	// historical paper-shape generator, byte-identical to before the knob
+	// existed. Validated upstream (RunSpec.Validate /
+	// datagen.ParseScenario).
+	Dataset string
 }
 
 func (c Config) withDefaults() Config {
@@ -52,9 +59,15 @@ func trueBeta(cfg Config) linalg.Vec {
 }
 
 // genMachineData deterministically generates one machine's observations.
+// A Dataset scenario reshapes the design (and this machine's share of
+// it); the empty scenario is the historical generator, byte-identical.
 func genMachineData(cl *sim.Cluster, cfg Config, machine int) *workload.RegressionData {
-	n := task.RealCount(cl, cfg.PointsPerMachine)
+	ds := datagen.ScenarioSpec(cfg.Dataset)
+	n := datagen.MachineShare(ds, machine, cl.NumMachines(), task.RealCount(cl, cfg.PointsPerMachine))
 	rng := randgen.New(cfg.Seed ^ cl.Config().Seed).Split(uint64(machine))
+	if ds != nil && ds.Regression != nil {
+		return datagen.MachineRegression(ds, rng, trueBeta(cfg), n)
+	}
 	return workload.GenRegressionWithBeta(rng, trueBeta(cfg), n, 1)
 }
 

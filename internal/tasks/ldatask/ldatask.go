@@ -12,6 +12,7 @@
 package ldatask
 
 import (
+	"mlbench/internal/datagen"
 	"mlbench/internal/models/lda"
 	"mlbench/internal/randgen"
 	"mlbench/internal/sim"
@@ -61,6 +62,11 @@ type Config struct {
 	// alias, or cached Metropolis-Hastings); the default dense tier is
 	// byte-identical to the historical sampler.
 	Sampler randgen.SamplerTier
+	// Dataset names a datagen scenario reshaping the corpus (word/topic
+	// skew, doc-length law, partition imbalance); empty is the historical
+	// paper-shape generator, byte-identical to before the knob existed.
+	// Validated upstream (RunSpec.Validate / datagen.ParseScenario).
+	Dataset string
 }
 
 func (c Config) withDefaults() Config {
@@ -92,13 +98,19 @@ func (c Config) withDefaults() Config {
 func (c Config) hyper() lda.Hyper { return lda.Hyper{T: c.T, V: c.V, Alpha: 0.5, Beta: 0.1} }
 
 // genMachineDocs deterministically generates one machine's documents with
-// planted topic structure.
+// planted topic structure. A Dataset scenario reshapes the corpus (and
+// this machine's share of it) while keeping the task's dimensions; the
+// empty scenario is the historical generator, byte-identical.
 func genMachineDocs(cl *sim.Cluster, cfg Config, machine int) [][]int {
-	n := task.RealCount(cl, cfg.DocsPerMachine)
+	ds := datagen.ScenarioSpec(cfg.Dataset)
+	n := datagen.MachineShare(ds, machine, cl.NumMachines(), task.RealCount(cl, cfg.DocsPerMachine))
 	rng := randgen.New(cfg.Seed ^ cl.Config().Seed).Split(uint64(machine))
 	topics := cfg.T / 10
 	if topics < 2 {
 		topics = 2
+	}
+	if ds != nil && ds.Corpus != nil {
+		return datagen.MachineCorpus(ds, rng, n, cfg.V, cfg.AvgDocLen, topics)
 	}
 	return workload.GenCorpus(rng, workload.CorpusConfig{
 		Docs: n, Vocab: cfg.V, AvgLen: cfg.AvgDocLen, Topics: topics,

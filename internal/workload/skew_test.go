@@ -1,0 +1,137 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"mlbench/internal/randgen"
+)
+
+func TestGenCorpusSkewedShapes(t *testing.T) {
+	rng := randgen.New(5)
+	docs := GenCorpusSkewed(rng, SkewedCorpusConfig{
+		Docs: 300, Vocab: 500, AvgLen: 80, Topics: 6,
+		ZipfS: 1.5, TopicSkew: 1.2, LenDist: LenLognormal, LenSigma: 0.7,
+	})
+	if len(docs) != 300 {
+		t.Fatalf("docs = %d", len(docs))
+	}
+	var total int
+	for _, d := range docs {
+		if len(d) < 2 {
+			t.Fatalf("degenerate doc length %d", len(d))
+		}
+		for _, w := range d {
+			if w < 0 || w >= 500 {
+				t.Fatalf("word %d out of vocabulary", w)
+			}
+		}
+		total += len(d)
+	}
+	if mean := float64(total) / 300; mean < 60 || mean > 100 {
+		t.Errorf("mean doc length = %.1f, want ~80", mean)
+	}
+	// Reproducible.
+	again := GenCorpusSkewed(randgen.New(5), SkewedCorpusConfig{
+		Docs: 300, Vocab: 500, AvgLen: 80, Topics: 6,
+		ZipfS: 1.5, TopicSkew: 1.2, LenDist: LenLognormal, LenSigma: 0.7,
+	})
+	for i := range docs {
+		if len(docs[i]) != len(again[i]) {
+			t.Fatalf("doc %d not reproducible", i)
+		}
+	}
+}
+
+// TestGenGMMSkewedStructure checks the two GMM shape knobs: mixture
+// imbalance concentrates labels on the first components, and covariance
+// conditioning stretches per-cluster axis variances by the declared
+// ratio.
+func TestGenGMMSkewedStructure(t *testing.T) {
+	rng := randgen.New(6)
+	cfg := SkewedGMMConfig{N: 20_000, D: 6, K: 5, Separation: 50, CovCondition: 16, Imbalance: 1.5}
+	data := GenGMMSkewed(rng, cfg)
+	counts := make([]int, cfg.K)
+	for _, l := range data.Labels {
+		counts[l]++
+	}
+	if counts[0] <= 2*counts[cfg.K-1] {
+		t.Errorf("mixture not imbalanced: %v", counts)
+	}
+	// Cluster 0's axis variances: means are far apart (separation 50), so
+	// assignment by label is clean; compare the largest and smallest
+	// per-axis sample variance against the declared condition number.
+	var pts [][]float64
+	for i, x := range data.Points {
+		if data.Labels[i] == 0 {
+			pts = append(pts, x)
+		}
+	}
+	minV, maxV := math.Inf(1), 0.0
+	for j := 0; j < cfg.D; j++ {
+		var sum, sumSq float64
+		for _, x := range pts {
+			sum += x[j]
+			sumSq += x[j] * x[j]
+		}
+		n := float64(len(pts))
+		v := sumSq/n - (sum/n)*(sum/n)
+		if v < minV {
+			minV = v
+		}
+		if v > maxV {
+			maxV = v
+		}
+	}
+	if ratio := maxV / minV; ratio < 8 || ratio > 32 {
+		t.Errorf("axis variance ratio = %.1f, want ~16", ratio)
+	}
+	// The uniform spherical config reduces to the historical moments.
+	sph := GenGMMSkewed(randgen.New(7), SkewedGMMConfig{N: 5000, D: 4, K: 3, Separation: 50})
+	counts = make([]int, 3)
+	for _, l := range sph.Labels {
+		counts[l]++
+	}
+	for _, c := range counts {
+		if c < 1200 || c > 2200 {
+			t.Errorf("uniform mixture counts: %v", counts)
+		}
+	}
+}
+
+// TestGenRegressionCorrelatedAR1 checks the design's lag-1 correlation
+// and unit marginal variance.
+func TestGenRegressionCorrelatedAR1(t *testing.T) {
+	const n, p, rho = 4000, 20, 0.7
+	rng := randgen.New(8)
+	beta := SparseBeta(rng, p, 3)
+	data := GenRegressionCorrelated(rng, beta, n, 1, rho)
+	if len(data.X) != n || len(data.Y) != n {
+		t.Fatalf("sizes: %d, %d", len(data.X), len(data.Y))
+	}
+	var dot, vj, vk float64
+	for _, x := range data.X {
+		dot += x[10] * x[11]
+		vj += x[10] * x[10]
+		vk += x[11] * x[11]
+	}
+	if r := dot / math.Sqrt(vj*vk); math.Abs(r-rho) > 0.05 {
+		t.Errorf("lag-1 correlation = %.3f, want ~%v", r, rho)
+	}
+	if v := vj / n; v < 0.9 || v > 1.1 {
+		t.Errorf("marginal variance = %.3f, want ~1", v)
+	}
+	// Responses follow the planted truth.
+	var resid float64
+	for i, x := range data.X {
+		var fit float64
+		for j := range x {
+			fit += x[j] * beta[j]
+		}
+		d := data.Y[i] - fit
+		resid += d * d
+	}
+	if rv := resid / n; rv < 0.8 || rv > 1.2 {
+		t.Errorf("residual variance = %.3f, want ~1", rv)
+	}
+}

@@ -37,7 +37,7 @@ echo "load_smoke: SLO verdicts passed"
 
 # 2. The timeline artifact: header row plus one row per bucket, and at
 # least one bucket actually completed work.
-head -1 "$CSV" | grep -q '^bucket,start_sec,issued,completed' || fail "timeline CSV header malformed: $(head -1 "$CSV")"
+head -n 1 "$CSV" | grep -q '^bucket,start_sec,issued,completed' || fail "timeline CSV header malformed: $(head -n 1 "$CSV")"
 rows=$(( $(wc -l < "$CSV") - 1 ))
 [ "$rows" -ge 6 ] || fail "timeline CSV has only $rows bucket rows"
 awk -F, 'NR>1 {c+=$4} END {exit c>0?0:1}' "$CSV" || fail "no completions recorded in the timeline"

@@ -14,7 +14,7 @@ SPEC='{"figure":"fig1a","iters":1,"scalediv":0.05}'
 
 fail() { echo "serve_smoke: FAIL: $*" >&2; exit 1; }
 # Extract a scalar field from the server's indented JSON.
-jfield() { sed -n "s/.*\"$1\": \"\{0,1\}\([^\",}]*\)\"\{0,1\},\{0,1\}\$/\1/p" | head -1; }
+jfield() { sed -n "s/.*\"$1\": \"\{0,1\}\([^\",}]*\)\"\{0,1\},\{0,1\}\$/\1/p" | head -n 1; }
 
 "$BIN" -addr "$ADDR" -workers 1 &
 PID=$!
