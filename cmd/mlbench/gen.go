@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"mlbench/internal/datagen"
+	"mlbench/internal/fsutil"
 )
 
 // cmdGen materializes a synthetic dataset from a declarative spec file or
@@ -75,7 +76,7 @@ func cmdGen(args []string) int {
 		f := os.Stdout
 		if *out != "-" {
 			var err error
-			f, err = os.Create(*out)
+			f, err = fsutil.Create(*out)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "gen: %v\n", err)
 				return 1

@@ -24,8 +24,9 @@
 // service accepts over HTTP — so a CLI invocation and a served request
 // with equal specs produce byte-identical tables.
 //
-// The pre-subcommand flat form (`mlbench -figure fig1a ...`) still works
-// but is deprecated; it prints a pointer to the subcommands on stderr.
+// The pre-subcommand flat form (`mlbench -figure fig1a ...`) was removed
+// after its deprecation period; flat invocations exit 2 with a pointer
+// to the equivalent subcommand.
 package main
 
 import (
@@ -44,11 +45,13 @@ import (
 )
 
 func main() {
-	if len(os.Args) < 2 || strings.HasPrefix(os.Args[1], "-") {
-		if len(os.Args) >= 2 {
-			fmt.Fprintln(os.Stderr, "mlbench: top-level flags are deprecated; use `mlbench run ...` (see `mlbench help`)")
-		}
-		os.Exit(runLegacy(os.Args[1:]))
+	if len(os.Args) < 2 {
+		usage(os.Stderr)
+		os.Exit(2)
+	}
+	if msg, removed := flatFormError(os.Args[1:]); removed {
+		fmt.Fprintln(os.Stderr, msg)
+		os.Exit(2)
 	}
 	cmd, args := os.Args[1], os.Args[2:]
 	switch cmd {
@@ -119,6 +122,8 @@ func specFlags(fs *flag.FlagSet) func() core.RunSpec {
 	shards := fs.Int("shards", 0, "parameter-server shard count for fig-ps (0 = one shard per machine)")
 	staleness := fs.Int("staleness", 0, "parameter-server staleness bound s for fig-ps (0 = synchronous, BSP-equivalent cycles)")
 	dataset := fs.String("dataset", "", "datagen scenario reshaping every task's synthetic data (skew-light, skew-heavy, imbal-2x, imbal-8x); empty = the paper's shapes")
+	machines := fs.Int("machines", 0, "fig-scale top machine count; the sweep's columns run machines/100, machines/10, and machines simulated machines (0 = 10000)")
+	chunk := fs.Int("chunk", 0, "elements resident per streamed-partition cursor (0 = default); like -workers, a host-memory knob that cannot change any result")
 	return func() core.RunSpec {
 		return core.RunSpec{
 			Figure:     *figure,
@@ -128,6 +133,8 @@ func specFlags(fs *flag.FlagSet) func() core.RunSpec {
 			ScaleDiv:   *scaleDiv,
 			Seed:       *seed,
 			Workers:    *workers,
+			Machines:   *machines,
+			Chunk:      *chunk,
 			Sampler:    *sampler,
 			Shards:     *shards,
 			Staleness:  *staleness,
@@ -411,43 +418,17 @@ func cmdLoc(args []string) int {
 	return 0
 }
 
-// runLegacy keeps the pre-subcommand flat flag surface working
-// (`mlbench -figure fig1a -iters 2 ...`): it parses the old flag set and
-// dispatches to the same spec-based helpers the subcommands use.
-func runLegacy(args []string) int {
-	fs := flag.NewFlagSet("mlbench", flag.ExitOnError)
-	buildSpec := specFlags(fs)
-	agree := fs.Float64("agree", 3, "agreement factor: cells within this multiple of the paper's value count as matching")
-	md := fs.Bool("md", false, "render tables as GitHub markdown (for EXPERIMENTS.md)")
-	loc := fs.Bool("loc", false, "print the lines-of-code table and exit")
-	list := fs.Bool("list", false, "list the available figures and exit")
-	hostbench := fs.Bool("hostbench", false, "wall-time the selected figures at 1 worker vs the full pool, write the benchmark JSON, and exit")
-	benchgate := fs.Bool("benchgate", false, "run the performance gate and exit nonzero on regression")
-	buildGate := gateFlags(fs, buildSpec)
-	fs.Parse(args)
-
-	switch {
-	case *list:
-		return cmdList(nil)
-	case *loc:
-		return cmdLoc(nil)
-	case *hostbench:
-		return hostBench(buildSpec(), buildGate().benchout)
-	case *benchgate:
-		return benchGate(buildGate())
+// flatFormError detects the removed pre-subcommand flat form
+// (`mlbench -figure fig1a ...`) and returns the migration message. The
+// flat surface was deprecated for several releases and is now gone:
+// failing loudly with the equivalent subcommand beats silently parsing
+// half the old flags.
+func flatFormError(args []string) (string, bool) {
+	if len(args) == 0 || !strings.HasPrefix(args[0], "-") {
+		return "", false
 	}
-	spec := buildSpec()
-	var specs []core.RunSpec
-	if spec.Figure == "" {
-		for _, id := range core.FigureIDs() {
-			s := spec
-			s.Figure = id
-			specs = append(specs, s)
-		}
-	} else {
-		specs = []core.RunSpec{spec}
-	}
-	return executeRuns(specs, *agree, *md)
+	return fmt.Sprintf("mlbench: top-level flags were removed; use `mlbench run %s` (gate: `mlbench gate ...`, wall-time: `mlbench bench ...`; see `mlbench help`)",
+		strings.Join(args, " ")), true
 }
 
 // logf is the gate progress sink: one line per measured benchmark.

@@ -1,0 +1,29 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// The pre-subcommand flat form is gone: a dash-prefixed first argument
+// must produce the migration hint (and main exits 2 on it), never fall
+// through to a half-parsed legacy flag set.
+func TestFlatFormRejected(t *testing.T) {
+	msg, removed := flatFormError([]string{"-figure", "fig1a", "-iters", "2"})
+	if !removed {
+		t.Fatalf("flat invocation not rejected")
+	}
+	for _, want := range []string{"top-level flags were removed", "mlbench run -figure fig1a -iters 2", "mlbench help"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("migration message %q missing %q", msg, want)
+		}
+	}
+}
+
+func TestSubcommandsNotFlatForm(t *testing.T) {
+	for _, args := range [][]string{{"run", "-figure", "fig1a"}, {"list"}, nil} {
+		if _, removed := flatFormError(args); removed {
+			t.Errorf("args %v wrongly treated as the removed flat form", args)
+		}
+	}
+}

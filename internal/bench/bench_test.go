@@ -76,7 +76,7 @@ func TestCellStringAndAgreement(t *testing.T) {
 
 func TestRegistryCoversAllFigures(t *testing.T) {
 	figs := Figures(Options{})
-	want := []string{"fig1a", "fig1b", "fig1c", "fig2", "fig3a", "fig3b", "fig4a", "fig4b", "fig5", "fig6", "fig7", "fig7b", "fig7c", "fig-ps", "fig-skew", "fig-imbal"}
+	want := []string{"fig1a", "fig1b", "fig1c", "fig2", "fig3a", "fig3b", "fig4a", "fig4b", "fig5", "fig6", "fig7", "fig7b", "fig7c", "fig-ps", "fig-skew", "fig-imbal", "fig-scale"}
 	if len(figs) != len(want) {
 		t.Fatalf("got %d figures, want %d", len(figs), len(want))
 	}

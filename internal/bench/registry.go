@@ -76,6 +76,17 @@ type Options struct {
 	// concurrently (the "-workers" CLI flag): 0 uses GOMAXPROCS, 1 runs
 	// sequentially. Virtual-clock results are identical for any value.
 	HostWorkers int
+	// Machines is the fig-scale sweep's top machine count (the "-machines"
+	// CLI flag); 0 means 10,000. The sweep's columns run Machines/100,
+	// Machines/10, and Machines simulated machines. It changes the
+	// rendered table, so it is part of the run identity (RunSpec cache
+	// key).
+	Machines int
+	// ChunkElems bounds the elements resident per streamed-partition
+	// cursor (the "-chunk" CLI flag); 0 uses sim.DefaultChunkElems. Purely
+	// a host-memory knob: results are byte-identical at any value, so it
+	// is excluded from the cache key.
+	ChunkElems int
 	// Ctx, when non-nil, cancels the run: probe and measured clusters
 	// check it between simulation tasks, so an abandoned run stops
 	// mid-phase. Cancellation surfaces as an error from RunContext /
@@ -155,6 +166,7 @@ func newCluster(machines int, scale float64, o Options) *sim.Cluster {
 	}
 	cfg.Seed = o.Seed
 	cfg.HostWorkers = o.HostWorkers
+	cfg.ChunkElems = o.ChunkElems
 	cfg.Ctx = o.Ctx
 	return sim.New(cfg)
 }
@@ -172,6 +184,7 @@ func newFaultCluster(machines int, scale float64, o Options, sched *faults.Sched
 	cfg.Seed = o.Seed
 	cfg.Tracer = o.Recorder
 	cfg.HostWorkers = o.HostWorkers
+	cfg.ChunkElems = o.ChunkElems
 	cfg.Faults = sched
 	cfg.Ctx = o.Ctx
 	if o.Progress != nil {
@@ -335,6 +348,7 @@ func Figures(o Options) []*Figure {
 		fig7(o), fig7b(o), fig7c(o),
 		figPS(o),
 		figSkew(o), figImbal(o),
+		figScale(o),
 	}
 }
 

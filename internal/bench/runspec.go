@@ -47,6 +47,17 @@ type RunSpec struct {
 	// Staleness is the parameter-server staleness bound s used by the
 	// fig-ps rows (0 = synchronous, BSP-equivalent cycles). Cache-keyed.
 	Staleness int `json:"staleness,omitempty"`
+	// Machines is the fig-scale sweep's top machine count; the sweep's
+	// columns run Machines/100, Machines/10, and Machines simulated
+	// machines. Only meaningful for fig-scale (Normalize defaults it to
+	// 10,000 there; Validate rejects it elsewhere). It changes the
+	// rendered table, so it participates in the cache key.
+	Machines int `json:"machines,omitempty"`
+	// Chunk bounds the elements resident per streamed-partition cursor
+	// (0 = sim.DefaultChunkElems). Purely a host-memory knob — results
+	// are byte-identical at any value — so, like Workers, it is excluded
+	// from the cache key.
+	Chunk int `json:"chunk,omitempty"`
 	// Sampler is the LDA/HMM token hot-path tier: "dense" (default,
 	// byte-identical to the historical O(T) scan), "alias" (exact
 	// per-element alias draw), or "mhalias" (cached Metropolis-Hastings).
@@ -108,6 +119,9 @@ func (s RunSpec) Normalize() RunSpec {
 	if s.Sampler == "" {
 		s.Sampler = randgen.TierDense.String()
 	}
+	if s.Figure == "fig-scale" && s.Machines == 0 {
+		s.Machines = defaultScaleMachines
+	}
 	if s.Faults.Active() {
 		s.Faults = s.Faults.withFaultDefaults()
 	}
@@ -130,7 +144,10 @@ func (s RunSpec) Validate() error {
 	if s.Figure == "" {
 		return fmt.Errorf("bench: run spec needs a figure (valid figures: %s)", strings.Join(figureIDs(), ", "))
 	}
-	f := FigureByID(s.Figure, Options{})
+	// Build the figure from the spec's own normalized options: knobs like
+	// Machines change the column labels, and row/col selection must be
+	// checked against the figure ExecuteSpec will actually run.
+	f := FigureByID(s.Figure, s.Normalize().Options())
 	if f == nil {
 		return fmt.Errorf("bench: unknown figure %q (valid figures: %s)", s.Figure, strings.Join(figureIDs(), ", "))
 	}
@@ -176,6 +193,15 @@ func (s RunSpec) Validate() error {
 	if s.Staleness < 0 {
 		return fmt.Errorf("bench: staleness must be >= 0 (0 = synchronous), got %d", s.Staleness)
 	}
+	if s.Machines != 0 && s.Figure != "fig-scale" {
+		return fmt.Errorf("bench: machines only applies to fig-scale, got machines=%d for figure %q", s.Machines, s.Figure)
+	}
+	if s.Machines != 0 && s.Machines < 100 {
+		return fmt.Errorf("bench: machines must be >= 100 (the sweep's smallest column is machines/100), got %d", s.Machines)
+	}
+	if s.Chunk < 0 {
+		return fmt.Errorf("bench: chunk must be >= 0 (0 = default chunk size), got %d", s.Chunk)
+	}
 	if _, err := randgen.ParseSamplerTier(s.Sampler); err != nil {
 		return fmt.Errorf("bench: %w", err)
 	}
@@ -211,13 +237,14 @@ type keyDoc struct {
 	Snap         int     `json:"snap"`
 	Shards       int     `json:"shards"`
 	Staleness    int     `json:"staleness"`
+	Machines     int     `json:"machines"`
 	Sampler      string  `json:"sampler"`
 	Dataset      string  `json:"dataset"`
 	TracePhases  bool    `json:"trace_phases"`
 	TraceMetrics bool    `json:"trace_metrics"`
 }
 
-const keyVersion = 4
+const keyVersion = 5
 
 // CacheKey returns the canonical content hash of the spec: the SHA-256 of
 // a fixed-order JSON document over the normalized result-affecting
@@ -236,7 +263,8 @@ func (s RunSpec) CacheKey() string {
 		Seed:     n.Seed,
 		Failures: n.Faults.Failures, FailAt: n.Faults.FailAt, Straggle: n.Faults.Straggle,
 		Ckpt: n.Faults.BSPCheckpointEvery, Snap: n.Faults.GASSnapshotEvery,
-		Shards: n.Shards, Staleness: n.Staleness, Sampler: n.Sampler, Dataset: n.Dataset,
+		Shards: n.Shards, Staleness: n.Staleness, Machines: n.Machines,
+		Sampler: n.Sampler, Dataset: n.Dataset,
 		TracePhases: n.Trace.Phases, TraceMetrics: n.Trace.Metrics,
 	}
 	data, err := json.Marshal(doc)
@@ -261,6 +289,8 @@ func (s RunSpec) Options() Options {
 		HostWorkers: s.Workers,
 		PSShards:    s.Shards,
 		PSStaleness: s.Staleness,
+		Machines:    s.Machines,
+		ChunkElems:  s.Chunk,
 		Sampler:     tier,
 		Dataset:     s.Dataset,
 		Trace:       s.Trace.Phases,

@@ -49,19 +49,21 @@ func TestRunSpecCacheKeyGolden(t *testing.T) {
 		key  string
 	}{
 		{"zero-fig1a", RunSpec{Figure: "fig1a"},
-			"21164e1cdda2ec2e9e2399a7923dc04034552469a41eb9031f3b7fd57dac2d1e"},
+			"3e67fcc226df9cc4430b764235ecef1795214eafa17f70cd25c52ecefa620ac5"},
 		{"cell", RunSpec{Figure: "fig6", Row: "Spark (Java)", Col: "5m"},
-			"bc6cf8c589a075540e079d5215ef51d5df6d35b19bc87ecbb75950a34fe4cfa0"},
+			"b91219c78abdb8c20839ee551ed545020ecc0f138c9c874a0fc7167490e805b9"},
 		{"faulted", RunSpec{Figure: "fig2", Faults: FaultConfig{Failures: 1}},
-			"8166b91031febd227e0b171855b3d7576e04f43ed9ac9d690c096296a798e0b0"},
+			"0bca79b043ba7776743ba0725b6c9d36b55f77a4568fb736fd91a04370ec8d24"},
 		{"traced", RunSpec{Figure: "fig1a", Trace: TraceSpec{Phases: true}},
-			"bec1f3ee1c71a8fdd0260898a26f03fe67a74e38b2f7b05941a152175fd8b7d0"},
+			"619544f90751ebf87ce9a92a84d248c849aae1ed583ae070c18a0edd0cc9b500"},
 		{"ps", RunSpec{Figure: "fig-ps", Shards: 3, Staleness: 2},
-			"e460f29e39785224139fe7b80f8994791e79175daf925f1237dd85c97f7123fc"},
+			"1eb37c505e83a49a4f9e2ca8d72b2ebc74976c1901ad606887728c4d80eb035e"},
 		{"mhalias-cell", RunSpec{Figure: "fig4b", Row: "Giraph", Col: "5m", Sampler: "mhalias"},
-			"f33e7ed9ace1d1c8d03ea60f2da5f81cbb2acc662409f269d064fd1679e730d0"},
+			"0ccd89d8f66d825a6b4dbdbc5877629bced738101f5aa23d00e2adff3e575c4c"},
 		{"dataset", RunSpec{Figure: "fig-imbal", Dataset: "imbal-8x"},
-			"b026b78268807bef8a6b8c6b1d078d8f23f8225d2b9dcf27d88f748c959d510e"},
+			"da78191c847e75a60117b5139478cdfd2501a4395b21622e68ee43c46fec654d"},
+		{"scale", RunSpec{Figure: "fig-scale"},
+			"c22e5e93ad6ba3897f84e741dbb9fcff0b7c7d931b7f01911eea4e58c3ec0632"},
 	}
 	for _, g := range golden {
 		if got := g.spec.CacheKey(); got != g.key {
@@ -80,6 +82,10 @@ func TestRunSpecCacheKeyEquivalence(t *testing.T) {
 		{Figure: "fig1a", Workers: 8},
 		{Figure: "fig1a", Trace: TraceSpec{Out: "a.json", CSV: "b.csv"}},
 		{Figure: "fig1a", Sampler: "dense"},
+		// Chunk is a host-memory knob like Workers: results are
+		// byte-identical at any chunk size, so it must not split the key.
+		{Figure: "fig1a", Chunk: 64},
+		{Figure: "fig1a", Chunk: 100_000},
 	}
 	for i, s := range same {
 		if s.CacheKey() != base.CacheKey() {
@@ -104,6 +110,8 @@ func TestRunSpecCacheKeyEquivalence(t *testing.T) {
 		{Figure: "fig-skew"},
 		{Figure: "fig-imbal"},
 		{Figure: "fig-imbal", Dataset: "imbal-2x"},
+		{Figure: "fig-scale"},
+		{Figure: "fig-scale", Machines: 1000},
 	}
 	seen := map[string]int{base.CacheKey(): -1}
 	for i, s := range different {
@@ -119,6 +127,13 @@ func TestRunSpecCacheKeyEquivalence(t *testing.T) {
 	b := RunSpec{Figure: "fig2", Faults: FaultConfig{Failures: 1, FailAt: 0.5, BSPCheckpointEvery: 3, GASSnapshotEvery: 3}}
 	if a.CacheKey() != b.CacheKey() {
 		t.Error("fault defaults not normalized into the cache key")
+	}
+	// The fig-scale machine default is normalized into the key the same
+	// way: leaving Machines at 0 and spelling out 10,000 are the same run.
+	c := RunSpec{Figure: "fig-scale"}
+	d := RunSpec{Figure: "fig-scale", Machines: 10_000}
+	if c.CacheKey() != d.CacheKey() {
+		t.Error("fig-scale machine default not normalized into the cache key")
 	}
 }
 
@@ -139,6 +154,10 @@ func TestRunSpecValidateActionable(t *testing.T) {
 		{RunSpec{Figure: "fig-ps", Shards: -1}, []string{"shards"}},
 		{RunSpec{Figure: "fig-ps", Staleness: -2}, []string{"staleness"}},
 		{RunSpec{Figure: "fig4b", Sampler: "turbo"}, []string{`sampler tier "turbo"`, "dense", "mhalias"}},
+		{RunSpec{Figure: "fig2", Machines: 500}, []string{"machines only applies to fig-scale"}},
+		{RunSpec{Figure: "fig-scale", Machines: 50}, []string{"machines must be >= 100"}},
+		{RunSpec{Figure: "fig-scale", Chunk: -1}, []string{"chunk must be >= 0"}},
+		{RunSpec{Figure: "fig-scale", Row: "SimSQL", Col: "GMM 7m"}, []string{`no column "GMM 7m"`, "GMM 100m", "LDA 10000m"}},
 		{RunSpec{Figure: "fig-skew", Dataset: "skewy"}, []string{`dataset scenario "skewy"`, "skew-light", "imbal-8x"}},
 	}
 	for _, c := range cases {
@@ -155,6 +174,14 @@ func TestRunSpecValidateActionable(t *testing.T) {
 	}
 	if err := (RunSpec{Figure: "fig6", Row: "Spark (Java)", Col: "5m"}).Validate(); err != nil {
 		t.Errorf("valid cell spec rejected: %v", err)
+	}
+	// Validation must check row/col against the figure the spec will
+	// actually run: -machines renames the fig-scale columns.
+	if err := (RunSpec{Figure: "fig-scale", Machines: 500, Row: "SimSQL", Col: "GMM 500m"}).Validate(); err != nil {
+		t.Errorf("custom-machines cell spec rejected: %v", err)
+	}
+	if err := (RunSpec{Figure: "fig-scale", Row: "Param Server", Col: "LDA 10000m"}).Validate(); err != nil {
+		t.Errorf("default-machines cell spec rejected: %v", err)
 	}
 }
 

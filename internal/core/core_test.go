@@ -4,10 +4,10 @@ import "testing"
 
 func TestFigureIDs(t *testing.T) {
 	ids := FigureIDs()
-	if len(ids) != 16 {
+	if len(ids) != 17 {
 		t.Fatalf("got %d figure ids: %v", len(ids), ids)
 	}
-	if ids[0] != "fig1a" || ids[len(ids)-1] != "fig-imbal" {
+	if ids[0] != "fig1a" || ids[len(ids)-1] != "fig-scale" {
 		t.Errorf("unexpected ordering: %v", ids)
 	}
 }

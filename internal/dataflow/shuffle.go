@@ -1,6 +1,9 @@
 package dataflow
 
 import (
+	"sort"
+
+	"mlbench/internal/ordmap"
 	"mlbench/internal/sim"
 )
 
@@ -221,26 +224,28 @@ func runShuffle[K comparable, V, A, O any](
 	// shared reducer maps happens in the Merge hook, sequentially in
 	// partition order, so the reducers' key order (and any cost charged by
 	// mergeAcc collisions) is identical at every host worker count.
-	locals := make([][]*omap[K, A], in.parts)
+	//
+	// The task-local buckets are sparse: a map-side combine touches at
+	// most min(|partition|, |key space|) targets, while a dense
+	// per-target array per task would cost O(parts^2) host memory across
+	// the phase — ruinous at the 80,000 partitions of a 10,000-machine
+	// sweep. Targets are visited in ascending order (sorted keys) so the
+	// ship/merge sequence is bit-identical to the dense layout's.
+	locals := make([]*ordmap.Map[int, *omap[K, A]], in.parts)
 	mapTasks := in.partTasks(func(p int, m *sim.Meter) error {
 		data, err := in.partition(p, m)
 		if err != nil {
 			return err
 		}
 		in.chargeTuples(m, len(data))
-		local := make([]*omap[K, A], out.parts)
+		local := ordmap.New[int, *omap[K, A]]()
 		for _, kv := range data {
 			t := int(hashKey(kv.K) % uint64(out.parts))
-			if local[t] == nil {
-				local[t] = newOmap[K, A]()
-			}
-			fold(m, local[t], kv)
+			fold(m, local.GetOrInsert(t, func() *omap[K, A] { return newOmap[K, A]() }), kv)
 		}
 		var wrote int64
-		for t, l := range local {
-			if l == nil {
-				continue
-			}
+		for _, t := range sortedTargets(local) {
+			l, _ := local.Get(t)
 			dstMachine := in.ctx.machineFor(t)
 			l.each(func(k K, a A) {
 				b := accBytes(k, a)
@@ -263,15 +268,14 @@ func runShuffle[K comparable, V, A, O any](
 	for i := range mapTasks {
 		p := i
 		mapTasks[p].Merge = func(m *sim.Meter) error {
-			for t, l := range locals[p] {
-				if l == nil {
-					continue
-				}
+			for _, t := range sortedTargets(locals[p]) {
+				l, _ := locals[p].Get(t)
 				l.each(func(k K, a A) {
 					partialBytes[t] += accBytes(k, a)
 					reducers[t].merge(k, a, func(old, new A) A { return mergeAcc(m, old, new) })
 				})
 			}
+			locals[p] = nil
 			return nil
 		}
 	}
@@ -309,6 +313,15 @@ func runShuffle[K comparable, V, A, O any](
 	out.mat, out.haveMat = mat, true
 	out.noteMaterialized(c.Now() - t0)
 	return nil
+}
+
+// sortedTargets returns a bucket map's target partitions in ascending
+// order, so sparse-bucket iteration charges in the same sequence a dense
+// per-target array would.
+func sortedTargets[V any](m *ordmap.Map[int, V]) []int {
+	ts := append([]int(nil), m.Keys()...)
+	sort.Ints(ts)
+	return ts
 }
 
 // shipBytes records a shuffle transfer, scaled if the RDD is

@@ -28,9 +28,21 @@ func MachineShare(spec *DatasetSpec, machine, machines, base int) int {
 // shape and the task's dimensions. The caller guarantees spec.Corpus is
 // non-nil (it falls back to workload.GenCorpus otherwise).
 func MachineCorpus(spec *DatasetSpec, rng *randgen.RNG, docs, vocab, avgLen, topics int) [][]int {
+	next := OpenMachineCorpus(spec, rng, vocab, avgLen, topics)
+	out := make([][]int, docs)
+	for d := range out {
+		out[d] = next()
+	}
+	return out
+}
+
+// OpenMachineCorpus is the streaming form of MachineCorpus: it returns
+// a sequential document generator with the same draw pattern, for
+// sim.Source-backed consumers.
+func OpenMachineCorpus(spec *DatasetSpec, rng *randgen.RNG, vocab, avgLen, topics int) func() []int {
 	c := spec.Corpus
-	return workload.GenCorpusSkewed(rng, workload.SkewedCorpusConfig{
-		Docs: docs, Vocab: vocab, AvgLen: avgLen, Topics: topics,
+	return workload.OpenCorpusSkewed(rng, workload.SkewedCorpusConfig{
+		Vocab: vocab, AvgLen: avgLen, Topics: topics,
 		ZipfS: c.ZipfS, TopicSkew: c.TopicSkew, Background: c.Background,
 		LenDist: c.DocLen.Dist, LenSigma: c.DocLen.Sigma,
 	})
@@ -42,12 +54,24 @@ func MachineCorpus(spec *DatasetSpec, rng *randgen.RNG, docs, vocab, avgLen, top
 // machine's stream is Split off the root. The caller guarantees spec.GMM
 // is non-nil.
 func MachineGMM(spec *DatasetSpec, root *randgen.RNG, machine, n, k, d int) []linalg.Vec {
+	next := OpenMachineGMM(spec, root, machine, k, d)
+	out := make([]linalg.Vec, n)
+	for i := range out {
+		out[i] = next()
+	}
+	return out
+}
+
+// OpenMachineGMM is the streaming form of MachineGMM: building the
+// generator draws the shared planted mixture from the root RNG exactly
+// as MachineGMM does, then streams the machine's split substream.
+func OpenMachineGMM(spec *DatasetSpec, root *randgen.RNG, machine, k, d int) func() linalg.Vec {
 	g := spec.GMM
 	mix := workload.NewPlantedMixture(root, workload.SkewedGMMConfig{
 		D: d, K: k,
 		Separation: g.Separation, CovCondition: g.CovCondition, Imbalance: g.Imbalance,
 	})
-	return workload.GenGMMSkewedAt(root.Split(uint64(machine)), mix, n).Points
+	return workload.OpenGMMSkewedAt(root.Split(uint64(machine)), mix)
 }
 
 // MachineRegression generates one machine's observations from the shared

@@ -1,0 +1,36 @@
+package fsutil
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteFileCreatesParents(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "a", "b", "out.json")
+	if err := WriteFile(path, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil || string(data) != "x" {
+		t.Fatalf("read back: %q, %v", data, err)
+	}
+}
+
+func TestCreateCreatesParents(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "deep", "dir", "f.txt")
+	f, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnsureParentBareName(t *testing.T) {
+	if err := EnsureParent("plain.json"); err != nil {
+		t.Fatalf("bare file name must need no directory work: %v", err)
+	}
+}

@@ -79,7 +79,7 @@ func TestMeasureErrors(t *testing.T) {
 // harness: all paths are present and produce positive timings.
 func TestMicroSpecsMeasure(t *testing.T) {
 	specs := MicroSpecs()
-	want := []string{"micro:alias-draw-k100", "micro:lda-mh-draw", "micro:hmm-mh-draw", "micro:gram-fold-p64", "micro:ps-shard-fold", "micro:runphase-merge-16m", "micro:trace-export", "micro:datagen-corpus"}
+	want := []string{"micro:alias-draw-k100", "micro:lda-mh-draw", "micro:hmm-mh-draw", "micro:gram-fold-p64", "micro:ps-shard-fold", "micro:runphase-merge-16m", "micro:runphase-wide-10km", "micro:source-stream-64k", "micro:trace-export", "micro:datagen-corpus"}
 	if len(specs) != len(want) {
 		t.Fatalf("MicroSpecs = %d specs, want %d", len(specs), len(want))
 	}
@@ -104,9 +104,9 @@ func TestCollectCells(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// 8 simulation micros + the timed loadgen replay + 5 deterministic
+	// 10 simulation micros + the timed loadgen replay + 5 deterministic
 	// slo: serving entries.
-	if f.Version != SchemaVersion || len(f.Benchmarks) != 14 {
+	if f.Version != SchemaVersion || len(f.Benchmarks) != 16 {
 		t.Fatalf("micro-only collection: version %d, %d benchmarks", f.Version, len(f.Benchmarks))
 	}
 	if f.Env.GoVersion == "" || f.Env.NumCPU <= 0 {

@@ -30,9 +30,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
-	"path/filepath"
 
 	"mlbench/internal/bench"
+	"mlbench/internal/fsutil"
 )
 
 // SchemaVersion is the BENCH_host.json document version. Version 1 was a
@@ -75,12 +75,7 @@ func (f *File) WriteFile(path string) error {
 	if err != nil {
 		return err
 	}
-	if dir := filepath.Dir(path); dir != "" && dir != "." {
-		if err := os.MkdirAll(dir, 0o755); err != nil {
-			return fmt.Errorf("perfgate: create output directory %s: %w", dir, err)
-		}
-	}
-	if err := os.WriteFile(path, data, 0o644); err != nil {
+	if err := fsutil.WriteFile(path, data, 0o644); err != nil {
 		return fmt.Errorf("perfgate: write %s: %w", path, err)
 	}
 	return nil

@@ -39,6 +39,8 @@ func MicroSpecs() []Spec {
 		gramFoldSpec(),
 		psShardFoldSpec(),
 		runPhaseMergeSpec(),
+		runPhaseWideSpec(),
+		sourceStreamSpec(),
 		traceExportSpec(),
 		datagenCorpusSpec(),
 	}
@@ -211,6 +213,64 @@ func runPhaseMergeSpec() Spec {
 						return nil
 					},
 					func(machine int, m *sim.Meter) error { return nil })
+				if err != nil {
+					return err
+				}
+			}
+			Sink += cl.Now()
+			return nil
+		},
+	}
+}
+
+// sourceStreamSpec: one op = streaming a 65,536-element partition
+// through a pooled chunked cursor at the default chunk size — the
+// streamed-partition substrate's hot loop. The pool must hold allocs/op
+// to a handful of chunk-buffer reuses; regressions here multiply across
+// every machine of a 10,000-machine sweep, so the gate's hard allocs/op
+// comparison is the backstop for the substrate (see also the absolute
+// ceilings in TestStreamSubstrateAllocCeilings).
+func sourceStreamSpec() Spec {
+	const n = 65_536
+	src := sim.NewSource(n, 0, func() func() float64 {
+		rng := randgen.New(23)
+		return func() float64 { return rng.Float64() }
+	})
+	return Spec{
+		Name:   "micro:source-stream-64k",
+		N:      200,
+		Warmup: 1,
+		Run: func(n int) error {
+			for i := 0; i < n; i++ {
+				sum := 0.0
+				src.Each(func(v float64) { sum += v })
+				Sink += sum
+			}
+			return nil
+		},
+	}
+}
+
+// runPhaseWideSpec: one op = one RunPhaseF over a 10,000-machine cluster
+// on a bounded worker pool — the fan-out shape every fig-scale phase
+// pays. Scratch reuse keeps the per-phase allocations flat; the gate's
+// allocs/op hard fail catches a 10,000-machine sweep quietly going
+// allocation-quadratic again.
+func runPhaseWideSpec() Spec {
+	cfg := sim.DefaultConfig(10_000)
+	cfg.Scale = 1000
+	cfg.HostWorkers = 4
+	cl := sim.New(cfg)
+	return Spec{
+		Name:   "micro:runphase-wide-10km",
+		N:      10,
+		Warmup: 1,
+		Run: func(n int) error {
+			for i := 0; i < n; i++ {
+				err := cl.RunPhaseF("gate", func(machine int, m *sim.Meter) error {
+					m.ChargeBulk(1)
+					return nil
+				})
 				if err != nil {
 					return err
 				}

@@ -101,12 +101,11 @@ func (e *Engine) narrowPhase(name string, in *Table, outSchema Schema, scaled bo
 	out.Scaled = scaled
 	err := e.c.RunPhaseF(name, func(machine int, m *sim.Meter) error {
 		m.SetProfile(sim.ProfileSQLEngine)
-		rows := in.Parts[machine]
-		chargeRows(m, len(rows), in.Scaled)
+		chargeRows(m, in.PartLen(machine), in.Scaled)
 		var res []Tuple
-		for _, t := range rows {
+		in.EachRow(machine, func(t Tuple) {
 			fn(t, &res)
-		}
+		})
 		chargeRows(m, len(res), scaled)
 		out.Parts[machine] = res
 		return nil
@@ -163,7 +162,7 @@ func (n *unionNode) run(e *Engine) (*Table, error) {
 	out := NewTable("union", n.Schema(), e.machines())
 	out.Scaled = n.scaled()
 	for i := range out.Parts {
-		out.Parts[i] = append(append([]Tuple{}, a.Parts[i]...), b.Parts[i]...)
+		out.Parts[i] = append(append([]Tuple{}, a.PartRows(i)...), b.PartRows(i)...)
 	}
 	// Union is free: it is a logical concatenation of HDFS files.
 	return out, nil
@@ -186,15 +185,20 @@ func (n *modelNode) run(e *Engine) (*Table, error) {
 // destination group is machine-major and worker-count-independent.
 func (e *Engine) repartition(name string, in *Table, keyCols []int) ([][]Tuple, error) {
 	parts := make([][]Tuple, e.machines())
-	locals := make([][][]Tuple, e.machines())
+	// Buckets are sparse (insertion-ordered maps, so the merge below stays
+	// deterministic): a map task touches only the destinations its rows
+	// hash to, which keeps the per-task footprint proportional to its row
+	// count rather than to the cluster size — at 10,000 machines a dense
+	// bucket array per task would cost O(machines^2) slice headers.
+	locals := make([]*ordmap.Map[int, []Tuple], e.machines())
 	width := len(in.Schema)
 	err := e.c.RunPhaseFM(name, func(machine int, m *sim.Meter) error {
 		m.SetProfile(sim.ProfileSQLEngine)
-		rows := in.Parts[machine]
-		chargeRows(m, len(rows), in.Scaled)
-		chargeDisk(m, e.c, len(rows), width, in.Scaled) // read input from HDFS
-		local := make([][]Tuple, e.machines())
-		for _, t := range rows {
+		n := in.PartLen(machine)
+		chargeRows(m, n, in.Scaled)
+		chargeDisk(m, e.c, n, width, in.Scaled) // read input from HDFS
+		local := ordmap.New[int, []Tuple]()
+		in.EachRow(machine, func(t Tuple) {
 			dst := int(keyOf(t, keyCols).hash() % uint64(e.machines()))
 			bytes := float64(tupleBytes(width))
 			if in.Scaled {
@@ -202,16 +206,17 @@ func (e *Engine) repartition(name string, in *Table, keyCols []int) ([][]Tuple, 
 			} else {
 				m.SendModel(dst, bytes)
 			}
-			local[dst] = append(local[dst], t)
-		}
-		countShuffle(m, len(rows), width, in.Scaled)
-		chargeDisk(m, e.c, len(rows), width, in.Scaled) // write map output
+			ts, _ := local.Get(dst)
+			local.Set(dst, append(ts, t))
+		})
+		countShuffle(m, n, width, in.Scaled)
+		chargeDisk(m, e.c, n, width, in.Scaled) // write map output
 		locals[machine] = local
 		return nil
 	}, func(machine int, m *sim.Meter) error {
-		for dst, ts := range locals[machine] {
+		locals[machine].Each(func(dst int, ts []Tuple) {
 			parts[dst] = append(parts[dst], ts...)
-		}
+		})
 		return nil
 	})
 	return parts, err
@@ -291,9 +296,8 @@ func (n *arithJoinNode) run(e *Engine) (*Table, error) {
 	scale := e.c.Scale()
 	err = e.c.RunPhaseF("crossjoin", func(machine int, m *sim.Meter) error {
 		m.SetProfile(sim.ProfileSQLEngine)
-		lRows := l.Parts[machine]
 		// Pair evaluations at paper scale: (|L| x S_l) x (|R| x S_r).
-		pairs := float64(len(lRows)) * float64(len(rAll))
+		pairs := float64(l.PartLen(machine)) * float64(len(rAll))
 		if l.Scaled {
 			pairs *= scale
 		}
@@ -302,7 +306,7 @@ func (n *arithJoinNode) run(e *Engine) (*Table, error) {
 		}
 		m.ChargeTuplesAbs(pairs)
 		var res []Tuple
-		for _, lt := range lRows {
+		l.EachRow(machine, func(lt Tuple) {
 			for _, rt := range rAll {
 				if n.pred(lt, rt) {
 					joined := make(Tuple, 0, len(lt)+len(rt))
@@ -311,7 +315,7 @@ func (n *arithJoinNode) run(e *Engine) (*Table, error) {
 					res = append(res, joined)
 				}
 			}
-		}
+		})
 		chargeRows(m, len(res), out.Scaled)
 		chargeDisk(m, e.c, len(res), len(out.Schema), out.Scaled)
 		out.Parts[machine] = res
@@ -436,12 +440,12 @@ func (n *groupAggNode) run(e *Engine) (*Table, error) {
 	localAggs := make([]*ordmap.Map[keyRef, *aggState], e.machines())
 	err = e.c.RunPhaseFM("group-map", func(machine int, m *sim.Meter) error {
 		m.SetProfile(sim.ProfileSQLEngine)
-		rows := in.Parts[machine]
+		nRows := in.PartLen(machine)
 		// GROUP BY absorbs its input through the tight combiner loop.
-		chargeCombine(m, e.c, float64(len(rows)), in.Scaled)
-		chargeDisk(m, e.c, len(rows), width, in.Scaled)
+		chargeCombine(m, e.c, float64(nRows), in.Scaled)
+		chargeDisk(m, e.c, nRows, width, in.Scaled)
 		local := ordmap.New[keyRef, *aggState]()
-		for _, t := range rows {
+		in.EachRow(machine, func(t Tuple) {
 			k := keyOf(t, n.keyCols)
 			st := local.GetOrInsert(k, func() *aggState {
 				key := make(Tuple, len(n.keyCols))
@@ -451,7 +455,7 @@ func (n *groupAggNode) run(e *Engine) (*Table, error) {
 				return newAggState(key, len(n.aggs))
 			})
 			st.absorb(t, n.aggs)
-		}
+		})
 		// One partial per group ships to its reducer. Whether those
 		// partials are data- or model-proportional depends on the group
 		// cardinality, which AsModelP declares.
@@ -523,12 +527,12 @@ func (n *expandAggNode) run(e *Engine) (*Table, error) {
 	localMaps := make([]*ordmap.Map[keyRef, Tuple], e.machines())
 	err = e.c.RunPhaseFM("expandagg-map", func(machine int, m *sim.Meter) error {
 		m.SetProfile(sim.ProfileSQLEngine)
-		rows := in.Parts[machine]
-		chargeRows(m, len(rows), in.Scaled)
-		chargeDisk(m, e.c, len(rows), len(in.Schema), in.Scaled)
-		chargeCombine(m, e.c, float64(len(rows))*float64(n.fanout), in.Scaled)
+		nRows := in.PartLen(machine)
+		chargeRows(m, nRows, in.Scaled)
+		chargeDisk(m, e.c, nRows, len(in.Schema), in.Scaled)
+		chargeCombine(m, e.c, float64(nRows)*float64(n.fanout), in.Scaled)
 		local := ordmap.New[keyRef, Tuple]()
-		for _, t := range rows {
+		in.EachRow(machine, func(t Tuple) {
 			n.expand(t, func(key Tuple, val float64) {
 				k := keyOf(key, identityCols(len(key)))
 				if prev, ok := local.Get(k); ok {
@@ -540,7 +544,7 @@ func (n *expandAggNode) run(e *Engine) (*Table, error) {
 					local.Set(k, row)
 				}
 			})
-		}
+		})
 		// Ship one partial per group to its reducer.
 		outWidth := len(n.out)
 		local.Each(func(k keyRef, row Tuple) {
@@ -650,9 +654,9 @@ func (n *vgApplyNode) run(e *Engine) (*Table, error) {
 		groups[0] = params.Rows()
 		err = e.c.RunPhaseF("vg-gather", func(machine int, m *sim.Meter) error {
 			m.SetProfile(sim.ProfileSQLEngine)
-			rows := params.Parts[machine]
-			chargeRows(m, len(rows), params.Scaled)
-			bytes := float64(len(rows)) * float64(tupleBytes(len(params.Schema)))
+			n := params.PartLen(machine)
+			chargeRows(m, n, params.Scaled)
+			bytes := float64(n) * float64(tupleBytes(len(params.Schema)))
 			if params.Scaled {
 				m.SendData(0, bytes)
 			} else {

@@ -103,11 +103,24 @@ func T(vals ...float64) Tuple { return Tuple(vals) }
 func tupleBytes(width int) int64 { return int64(8*width) + 16 }
 
 // Table is a named, schema-carrying relation partitioned across the
-// cluster's machines.
+// cluster's machines. A base table may be generator-backed: Gen streams
+// a partition's rows on demand instead of holding them in Parts, so a
+// scan-side pass over a paper-scale relation never materializes it (the
+// SimSQL-faithful behaviour — base tables live in HDFS and stream
+// through map tasks). Operator outputs are always materialized (they
+// model disk-spilled intermediates). Readers go through PartLen/EachRow
+// so both representations behave identically.
 type Table struct {
 	Name   string
 	Schema Schema
 	Parts  [][]Tuple
+	// Gen, when non-nil, streams partition part's rows through yield in
+	// deterministic row order; Parts is ignored for such tables. The
+	// generator must be pure: repeated walks yield the same rows.
+	Gen func(part int, yield func(Tuple))
+	// GenRows holds the per-partition row counts of a generator-backed
+	// table (len == number of partitions).
+	GenRows []int
 	// Scaled marks data-proportional cardinality: costs for scaled tables
 	// are multiplied by the cluster's scale factor. Model-sized tables
 	// (one row per cluster/state/topic) are unscaled.
@@ -119,20 +132,59 @@ func NewTable(name string, schema Schema, machines int) *Table {
 	return &Table{Name: name, Schema: schema, Parts: make([][]Tuple, machines)}
 }
 
-// NumRows returns the total (real, in-memory) row count.
+// NumParts returns the partition count.
+func (t *Table) NumParts() int {
+	if t.Gen != nil {
+		return len(t.GenRows)
+	}
+	return len(t.Parts)
+}
+
+// PartLen returns partition part's row count.
+func (t *Table) PartLen(part int) int {
+	if t.Gen != nil {
+		return t.GenRows[part]
+	}
+	return len(t.Parts[part])
+}
+
+// EachRow streams partition part's rows through fn in row order.
+func (t *Table) EachRow(part int, fn func(Tuple)) {
+	if t.Gen != nil {
+		t.Gen(part, fn)
+		return
+	}
+	for _, row := range t.Parts[part] {
+		fn(row)
+	}
+}
+
+// PartRows returns partition part as a slice, materializing a
+// generator-backed partition.
+func (t *Table) PartRows(part int) []Tuple {
+	if t.Gen == nil {
+		return t.Parts[part]
+	}
+	out := make([]Tuple, 0, t.GenRows[part])
+	t.Gen(part, func(row Tuple) { out = append(out, row) })
+	return out
+}
+
+// NumRows returns the total row count.
 func (t *Table) NumRows() int {
 	n := 0
-	for _, p := range t.Parts {
-		n += len(p)
+	for p := 0; p < t.NumParts(); p++ {
+		n += t.PartLen(p)
 	}
 	return n
 }
 
-// Rows returns all rows in partition order (for tests and small results).
+// Rows returns all rows in partition order (for tests and small results),
+// materializing generator-backed partitions.
 func (t *Table) Rows() []Tuple {
 	out := make([]Tuple, 0, t.NumRows())
-	for _, p := range t.Parts {
-		out = append(out, p...)
+	for p := 0; p < t.NumParts(); p++ {
+		t.EachRow(p, func(row Tuple) { out = append(out, row) })
 	}
 	return out
 }

@@ -56,6 +56,20 @@ type ctRec struct {
 	gauge bool
 }
 
+// reset rebinds a pooled meter to a task's machine, clearing buffered
+// state while keeping the send/event/count buffer capacity from the
+// meter's previous phase (see Cluster.getScratch).
+func (t *Meter) reset(machine *Machine, cluster *Cluster) {
+	t.machine = machine
+	t.cluster = cluster
+	t.prof = Profile{}
+	t.parSec, t.serSec = 0, 0
+	t.serial = false
+	t.sends = t.sends[:0]
+	t.events = t.events[:0]
+	t.counts = t.counts[:0]
+}
+
 // Machine returns the machine this task runs on.
 func (t *Meter) Machine() *Machine { return t.machine }
 

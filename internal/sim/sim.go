@@ -36,6 +36,7 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"mlbench/internal/faults"
 	"mlbench/internal/randgen"
@@ -77,6 +78,11 @@ type Config struct {
 	// Every virtual-clock number is byte-identical across worker counts;
 	// see the "Host execution model" section of DESIGN.md.
 	HostWorkers int
+	// ChunkElems is the streamed-partition chunk size (see Source); 0
+	// selects DefaultChunkElems. Like HostWorkers it is a host-side
+	// execution knob: every table and trace is byte-identical at any
+	// value, only peak resident memory and hand-off granularity change.
+	ChunkElems int
 	// Ctx, when non-nil, cancels the run: RunPhase checks it at phase
 	// entry and between tasks, so an abandoned request stops burning host
 	// workers mid-phase rather than at the next figure boundary. A
@@ -190,6 +196,90 @@ type Cluster struct {
 	faultLog     []FaultInfo
 	inRecovery   bool
 	stragglerCap float64
+
+	// scratch is a free stack of per-phase working sets (see
+	// phaseScratch). Phases on one cluster are host-sequential, but they
+	// nest — RunDriver is a phase, and fault recovery runs phases from
+	// inside RunPhase's fault settling — so reuse is a stack, not a
+	// single slot: a nested phase pops its own scratch while the outer
+	// one is still live.
+	scratch []*phaseScratch
+}
+
+// phaseScratch holds RunPhase's per-phase allocations, recycled across
+// phases so a 10,000-machine sweep does not reallocate ~10 slices plus
+// one Meter per task every barrier.
+type phaseScratch struct {
+	perMachinePar []float64
+	perMachineSer []float64
+	computeSec    []float64
+	commSec       []float64
+	machineSec    []float64
+	taskCount     []int
+	groups        [][]int
+	nonEmpty      []int
+	states        []taskState
+	meters        []Meter
+}
+
+// getScratch pops (or allocates) a scratch set sized for this cluster
+// and task count. Machine-indexed slices are zeroed; groups are reset
+// to empty per machine.
+func (c *Cluster) getScratch(tasks int) *phaseScratch {
+	var sc *phaseScratch
+	if n := len(c.scratch); n > 0 {
+		sc, c.scratch = c.scratch[n-1], c.scratch[:n-1]
+	} else {
+		sc = &phaseScratch{}
+	}
+	m := c.cfg.Machines
+	sc.perMachinePar = resetFloats(sc.perMachinePar, m)
+	sc.perMachineSer = resetFloats(sc.perMachineSer, m)
+	sc.computeSec = resetFloats(sc.computeSec, m)
+	sc.commSec = resetFloats(sc.commSec, m)
+	sc.machineSec = resetFloats(sc.machineSec, m)
+	if cap(sc.taskCount) < m {
+		sc.taskCount = make([]int, m)
+	}
+	sc.taskCount = sc.taskCount[:m]
+	for i := range sc.taskCount {
+		sc.taskCount[i] = 0
+	}
+	if cap(sc.groups) < m {
+		sc.groups = make([][]int, m)
+	}
+	sc.groups = sc.groups[:m]
+	for i := range sc.groups {
+		sc.groups[i] = sc.groups[i][:0]
+	}
+	sc.nonEmpty = sc.nonEmpty[:0]
+	if cap(sc.states) < tasks {
+		sc.states = make([]taskState, tasks)
+		sc.meters = make([]Meter, tasks)
+	}
+	sc.states = sc.states[:tasks]
+	sc.meters = sc.meters[:tasks]
+	for i := range sc.states {
+		sc.states[i] = taskState{}
+	}
+	return sc
+}
+
+// putScratch returns a scratch set to the free stack.
+func (c *Cluster) putScratch(sc *phaseScratch) {
+	c.scratch = append(c.scratch, sc)
+}
+
+// resetFloats returns a zeroed float slice of length n, reusing cap.
+func resetFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
 }
 
 // New constructs a cluster. Zero-valued fields of cfg get sensible
@@ -359,9 +449,11 @@ func (c *Cluster) RunPhase(name string, tasks []Task) error {
 		return err
 	}
 	start := c.clock
-	perMachinePar := make([]float64, c.cfg.Machines)
-	perMachineSer := make([]float64, c.cfg.Machines)
-	taskCount := make([]int, c.cfg.Machines)
+	sc := c.getScratch(len(tasks))
+	defer c.putScratch(sc)
+	perMachinePar := sc.perMachinePar
+	perMachineSer := sc.perMachineSer
+	taskCount := sc.taskCount
 	for _, m := range c.machines {
 		m.phaseSent, m.phaseRecv = 0, 0
 	}
@@ -370,19 +462,23 @@ func (c *Cluster) RunPhase(name string, tasks []Task) error {
 	// machine's tasks run sequentially on one goroutine (they share the
 	// machine's RNG and memory accountant); distinct machines run
 	// concurrently.
-	groups := make([][]int, c.cfg.Machines)
+	groups := sc.groups
 	for i, t := range tasks {
 		if t.Machine < 0 || t.Machine >= c.cfg.Machines {
 			panic(fmt.Sprintf("sim: task assigned to machine %d of %d", t.Machine, c.cfg.Machines))
 		}
+		if len(groups[t.Machine]) == 0 {
+			sc.nonEmpty = append(sc.nonEmpty, t.Machine)
+		}
 		groups[t.Machine] = append(groups[t.Machine], i)
 	}
 
-	states := make([]taskState, len(tasks))
+	states := sc.states
 	runGroup := func(idxs []int) {
 		for _, i := range idxs {
 			st := &states[i]
-			st.meter = &Meter{machine: c.machines[tasks[i].Machine], cluster: c}
+			st.meter = &sc.meters[i]
+			st.meter.reset(c.machines[tasks[i].Machine], c)
 			if err := c.canceled(name); err != nil {
 				st.err = err
 				st.ran = true
@@ -403,26 +499,35 @@ func (c *Cluster) RunPhase(name string, tasks []Task) error {
 			}
 		}
 	}
-	if workers := c.hostWorkers(); workers <= 1 {
-		for _, idxs := range groups {
-			if len(idxs) > 0 {
-				runGroup(idxs)
-			}
+	// Shard the machine groups over a bounded worker pool: workers
+	// goroutines pull group indices from a shared counter. One goroutine
+	// per non-empty machine (the previous scheme) meant 10,000 goroutines
+	// per phase on a 10,000-machine sweep; the pool keeps host cost
+	// proportional to HostWorkers while the atomic counter preserves the
+	// per-group sequential execution that byte-identity rests on.
+	workers := c.hostWorkers()
+	if workers > len(sc.nonEmpty) {
+		workers = len(sc.nonEmpty)
+	}
+	if workers <= 1 {
+		for _, mi := range sc.nonEmpty {
+			runGroup(groups[mi])
 		}
 	} else {
-		sem := make(chan struct{}, workers)
+		var next atomic.Int64
 		var wg sync.WaitGroup
-		for _, idxs := range groups {
-			if len(idxs) == 0 {
-				continue
-			}
-			wg.Add(1)
-			go func(idxs []int) {
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
 				defer wg.Done()
-				sem <- struct{}{}
-				defer func() { <-sem }()
-				runGroup(idxs)
-			}(idxs)
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(sc.nonEmpty) {
+						return
+					}
+					runGroup(groups[sc.nonEmpty[i]])
+				}
+			}()
 		}
 		wg.Wait()
 	}
@@ -468,9 +573,9 @@ func (c *Cluster) RunPhase(name string, tasks []Task) error {
 	}
 
 	// Baseline per-machine times, before straggler inflation.
-	computeSec := make([]float64, c.cfg.Machines)
-	commSec := make([]float64, c.cfg.Machines)
-	machineSec := make([]float64, c.cfg.Machines)
+	computeSec := sc.computeSec
+	commSec := sc.commSec
+	machineSec := sc.machineSec
 	var baseWorst float64
 	active := 0
 	for i, m := range c.machines {

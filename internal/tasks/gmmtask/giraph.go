@@ -21,10 +21,15 @@ type bspDataVtx struct {
 	c int
 }
 
-// bspSVVtx is a super-vertex block of points.
+// bspSVVtx is a super-vertex block [lo, hi) of one machine's point
+// stream, regenerated on each walk rather than held resident.
 type bspSVVtx struct {
-	pts []linalg.Vec
+	src    *sim.Source[linalg.Vec]
+	lo, hi int
 }
+
+// each streams the block's points through fn in stream order.
+func (v *bspSVVtx) each(fn func(linalg.Vec)) { v.src.EachRange(v.lo, v.hi, fn) }
 
 // bspClusVtx is one mixture component.
 type bspClusVtx struct{ k int }
@@ -82,33 +87,33 @@ func RunGiraph(cl *sim.Cluster, cfg Config) (*task.Result, error) {
 	}
 
 	var dataIDs []bsp.VertexID
-	var allPts []linalg.Vec
+	srcs := machineSources(cl, cfg, machines)
 	if cfg.SuperVertex {
-		for mc := 0; mc < machines; mc++ {
-			pts := genMachineData(cl, cfg, mc)
-			allPts = append(allPts, pts...)
+		for mc, src := range srcs {
+			n := src.Len()
 			nsv := cfg.SVPerMachine
-			if nsv > len(pts) {
-				nsv = len(pts)
+			if nsv > n {
+				nsv = n
 			}
 			for s := 0; s < nsv; s++ {
-				lo, hi := s*len(pts)/nsv, (s+1)*len(pts)/nsv
+				lo, hi := s*n/nsv, (s+1)*n/nsv
 				id := bsp.VertexID(int64(dataBase) + int64(mc*cfg.SVPerMachine+s))
 				bytes := int64(float64((hi-lo)*8*cfg.D) * cl.Scale())
-				g.AddVertex(id, &bspSVVtx{pts: pts[lo:hi]}, bytes, false, mc)
+				g.AddVertex(id, &bspSVVtx{src: src, lo: lo, hi: hi}, bytes, false, mc)
 				dataIDs = append(dataIDs, id)
 			}
 		}
 	} else {
+		// Per-point vertices pin their point by design (the formulation
+		// the paper shows failing); generation streams.
 		next := int64(dataBase)
-		for mc := 0; mc < machines; mc++ {
-			pts := genMachineData(cl, cfg, mc)
-			allPts = append(allPts, pts...)
-			for _, x := range pts {
-				g.AddVertex(bsp.VertexID(next), &bspDataVtx{x: x, c: -1}, int64(8*cfg.D)+16, true, mc)
+		for mc, src := range srcs {
+			m := mc
+			src.Each(func(x linalg.Vec) {
+				g.AddVertex(bsp.VertexID(next), &bspDataVtx{x: x, c: -1}, int64(8*cfg.D)+16, true, m)
 				dataIDs = append(dataIDs, bsp.VertexID(next))
 				next++
-			}
+			})
 		}
 	}
 	for k := 0; k < cfg.K; k++ {
@@ -122,7 +127,7 @@ func RunGiraph(cl *sim.Cluster, cfg Config) (*task.Result, error) {
 
 	// Initialization: hyperparameters (aggregator pass), model init on
 	// the master, and random initial memberships.
-	mean, variance := momentsOf(allPts)
+	mean, variance := momentsOfSources(srcs, cfg.D)
 	h := gmm.HyperFromMoments(cfg.K, mean, variance)
 	rng := randgen.New(cfg.Seed ^ 0x61a4)
 	var params *gmm.Params
@@ -155,7 +160,7 @@ func RunGiraph(cl *sim.Cluster, cfg Config) (*task.Result, error) {
 	mBytes := modelMsgBytes(cfg.D)
 	sBytes := statBytes(cfg.D)
 
-	diagPts := genMachineData(cl, cfg, 0)
+	diagSrc := srcs[0]
 	for iter := 0; iter < cfg.Iterations; iter++ {
 		gathered = statsBy()
 		// Superstep A: model distribution. Per-point: each cluster vertex
@@ -201,9 +206,9 @@ func RunGiraph(cl *sim.Cluster, cfg Config) (*task.Result, error) {
 			case *bspSVVtx:
 				// Batch: sample all points, pre-aggregate, send K messages.
 				local := statsBy()
-				for _, x := range d.pts {
+				d.each(func(x linalg.Vec) {
 					local.Add(samplePt(x), x, 1)
-				}
+				})
 				for k := 0; k < cfg.K; k++ {
 					if local.N[k] == 0 {
 						continue
@@ -245,7 +250,7 @@ func RunGiraph(cl *sim.Cluster, cfg Config) (*task.Result, error) {
 			return res, err
 		}
 		res.IterSecs = append(res.IterSecs, sw.Lap())
-		res.Record(chainPoint(diagPts, params))
+		res.Record(chainPoint(diagSrc, params))
 	}
 	recordQuality(cl, cfg, params, res)
 	return res, nil

@@ -57,21 +57,58 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// genMachineData deterministically generates one machine's real points.
-// All platforms share the same data for a given cluster seed, so learned
-// models are comparable across engines. A Dataset scenario reshapes the
-// mixture (and this machine's share of it); the empty scenario is the
-// historical generator, byte-identical.
-func genMachineData(cl *sim.Cluster, cfg Config, machine int) []linalg.Vec {
+// machineSource streams one machine's real points as a regenerable
+// partition. All platforms share the same data for a given cluster seed,
+// so learned models are comparable across engines. A Dataset scenario
+// reshapes the mixture (and this machine's share of it); the empty
+// scenario replays the historical generator's draw pattern exactly, so
+// the element stream is byte-identical to the slices the ports used to
+// materialize.
+func machineSource(cl *sim.Cluster, cfg Config, machine int) *sim.Source[linalg.Vec] {
 	ds := datagen.ScenarioSpec(cfg.Dataset)
 	n := datagen.MachineShare(ds, machine, cl.NumMachines(), task.RealCount(cl, cfg.PointsPerMachine))
-	root := randgen.New(cfg.Seed ^ cl.Config().Seed)
-	if ds != nil && ds.GMM != nil {
-		return datagen.MachineGMM(ds, root, machine, n, cfg.K, cfg.D)
+	return sim.NewSource(n, cl.ChunkElems(), func() func() linalg.Vec {
+		root := randgen.New(cfg.Seed ^ cl.Config().Seed)
+		if ds != nil && ds.GMM != nil {
+			return datagen.OpenMachineGMM(ds, root, machine, cfg.K, cfg.D)
+		}
+		mu := workload.PlantedMeans(root, cfg.K, cfg.D, 8) // shared planted mixture
+		return workload.OpenGMMAt(root.Split(uint64(machine)), mu)
+	})
+}
+
+// machineSources opens every machine's point stream.
+func machineSources(cl *sim.Cluster, cfg Config, machines int) []*sim.Source[linalg.Vec] {
+	srcs := make([]*sim.Source[linalg.Vec], machines)
+	for mc := range srcs {
+		srcs[mc] = machineSource(cl, cfg, mc)
 	}
-	mu := workload.PlantedMeans(root, cfg.K, cfg.D, 8) // shared planted mixture
-	rng := root.Split(uint64(machine))
-	return workload.GenGMMAt(rng, mu, n).Points
+	return srcs
+}
+
+// momentsOfSources computes the mean and per-dimension variance of the
+// concatenated machine streams in two passes, accumulating one point at
+// a time in machine order — the same floating-point order as the
+// historical single-slice momentsOf over all machines' points.
+func momentsOfSources(srcs []*sim.Source[linalg.Vec], d int) (linalg.Vec, linalg.Vec) {
+	mean := linalg.NewVec(d)
+	variance := linalg.NewVec(d)
+	n := 0
+	for _, src := range srcs {
+		n += src.Len()
+		src.Each(func(x linalg.Vec) { x.AddTo(mean) })
+	}
+	mean.ScaleInPlace(1 / float64(n))
+	for _, src := range srcs {
+		src.Each(func(x linalg.Vec) {
+			for i := range x {
+				df := x[i] - mean[i]
+				variance[i] += df * df
+			}
+		})
+	}
+	variance.ScaleInPlace(1 / float64(n))
+	return mean, variance
 }
 
 // pointBytes is the simulated in-memory size of one data point under a

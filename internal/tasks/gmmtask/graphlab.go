@@ -25,12 +25,21 @@ type dataVtx struct {
 	c int
 }
 
-// svVtx is a super vertex: a block of points with pre-aggregated
-// statistics as its exported view.
+// svVtx is a super vertex: a block [lo, hi) of one machine's point
+// stream with pre-aggregated statistics as its exported view. The block
+// is regenerated from the source each time it is walked, so no
+// paper-scale points stay resident between phases.
 type svVtx struct {
-	pts   []linalg.Vec
-	stats *gmm.Stats
+	src    *sim.Source[linalg.Vec]
+	lo, hi int
+	stats  *gmm.Stats
 }
+
+// n returns the block's point count.
+func (v *svVtx) n() int { return v.hi - v.lo }
+
+// each streams the block's points through fn in stream order.
+func (v *svVtx) each(fn func(linalg.Vec)) { v.src.EachRange(v.lo, v.hi, fn) }
 
 // clusVtx is one mixture component; mixVtx holds the proportions.
 type clusVtx struct{ k int }
@@ -149,11 +158,11 @@ func (p *glProgram) Apply(m *sim.Meter, v *gas.Vertex, acc any) {
 		m.ChargeLinalg(1, gmm.MembershipFlops(cfg.K, cfg.D)+float64(cfg.D*cfg.D), cfg.D)
 		d.c = p.st.params.SampleMembership(m.RNG(), d.x)
 	case *svVtx:
-		m.ChargeLinalg(len(d.pts)*(cfg.K+1), (gmm.MembershipFlops(cfg.K, cfg.D)+float64(cfg.D*cfg.D))/float64(cfg.K+1), cfg.D)
+		m.ChargeLinalg(d.n()*(cfg.K+1), (gmm.MembershipFlops(cfg.K, cfg.D)+float64(cfg.D*cfg.D))/float64(cfg.K+1), cfg.D)
 		d.stats = gmm.NewStats(cfg.K, cfg.D)
-		for _, x := range d.pts {
+		d.each(func(x linalg.Vec) {
 			d.stats.Add(p.st.params.SampleMembership(m.RNG(), x), x, 1)
-		}
+		})
 	case *clusVtx:
 		if acc == nil {
 			return
@@ -194,35 +203,36 @@ func RunGraphLab(cl *sim.Cluster, cfg Config) (*task.Result, error) {
 	scale := cl.Scale()
 
 	var dataIDs []gas.VertexID
-	var allPts []linalg.Vec
+	srcs := machineSources(cl, cfg, g.EffectiveMachines())
 	if cfg.SuperVertex {
-		for mc := 0; mc < g.EffectiveMachines(); mc++ {
-			pts := genMachineData(cl, cfg, mc)
-			allPts = append(allPts, pts...)
+		for mc, src := range srcs {
+			n := src.Len()
 			nsv := cfg.SVPerMachine
-			if nsv > len(pts) {
-				nsv = len(pts)
+			if nsv > n {
+				nsv = n
 			}
 			for s := 0; s < nsv; s++ {
-				lo, hi := s*len(pts)/nsv, (s+1)*len(pts)/nsv
+				lo, hi := s*n/nsv, (s+1)*n/nsv
 				id := dataBase + gas.VertexID(mc*cfg.SVPerMachine+s)
-				// A super vertex is model-cardinality but stores its
+				// A super vertex is model-cardinality but stands for its
 				// block's paper-scale payload.
 				bytes := int64(float64((hi-lo)*8*cfg.D) * scale)
-				g.AddVertex(id, &svVtx{pts: pts[lo:hi]}, bytes, false, mc)
+				g.AddVertex(id, &svVtx{src: src, lo: lo, hi: hi}, bytes, false, mc)
 				dataIDs = append(dataIDs, id)
 			}
 		}
 	} else {
+		// The per-point formulation pins one vertex per point by design —
+		// that is the layout the paper shows exhausting memory — but the
+		// generation itself streams.
 		next := dataBase
-		for mc := 0; mc < g.EffectiveMachines(); mc++ {
-			pts := genMachineData(cl, cfg, mc)
-			allPts = append(allPts, pts...)
-			for _, x := range pts {
-				g.AddVertex(next, &dataVtx{x: x}, int64(8*cfg.D)+16, true, mc)
+		for mc, src := range srcs {
+			m := mc
+			src.Each(func(x linalg.Vec) {
+				g.AddVertex(next, &dataVtx{x: x}, int64(8*cfg.D)+16, true, m)
 				dataIDs = append(dataIDs, next)
 				next++
-			}
+			})
 		}
 	}
 	modelSide := make([]gas.VertexID, 0, cfg.K+1)
@@ -241,11 +251,11 @@ func RunGraphLab(cl *sim.Cluster, cfg Config) (*task.Result, error) {
 
 	// Initialization: empirical hyperparameters via map_reduce_vertices,
 	// model init, then an initial membership transform.
-	mean, variance := momentsOf(allPts)
+	mean, variance := momentsOfSources(srcs, cfg.D)
 	st.h = gmm.HyperFromMoments(cfg.K, mean, variance)
 	if _, err := g.MapReduceVertices(int64(16*cfg.D), func(m *sim.Meter, v *gas.Vertex) any {
 		if sv, ok := v.Data.(*svVtx); ok {
-			m.ChargeLinalg(len(sv.pts), float64(2*cfg.D), cfg.D)
+			m.ChargeLinalg(sv.n(), float64(2*cfg.D), cfg.D)
 		} else {
 			m.ChargeLinalg(1, float64(2*cfg.D), cfg.D)
 		}
@@ -269,9 +279,9 @@ func RunGraphLab(cl *sim.Cluster, cfg Config) (*task.Result, error) {
 			d.c = m.RNG().Intn(cfg.K)
 		case *svVtx:
 			d.stats = gmm.NewStats(cfg.K, cfg.D)
-			for _, x := range d.pts {
+			d.each(func(x linalg.Vec) {
 				d.stats.Add(m.RNG().Intn(cfg.K), x, 1)
-			}
+			})
 		}
 	}); err != nil {
 		return res, err
@@ -279,7 +289,7 @@ func RunGraphLab(cl *sim.Cluster, cfg Config) (*task.Result, error) {
 	res.InitSec = sw.Lap()
 
 	prog := &glProgram{st: st}
-	diagPts := genMachineData(cl, cfg, 0)
+	diagSrc := srcs[0]
 	for iter := 0; iter < cfg.Iterations; iter++ {
 		st.stats = nil
 		if err := g.RunRound(prog, nil); err != nil {
@@ -298,27 +308,8 @@ func RunGraphLab(cl *sim.Cluster, cfg Config) (*task.Result, error) {
 			return res, err
 		}
 		res.IterSecs = append(res.IterSecs, sw.Lap())
-		res.Record(chainPoint(diagPts, st.params))
+		res.Record(chainPoint(diagSrc, st.params))
 	}
 	recordQuality(cl, cfg, st.params, res)
 	return res, nil
-}
-
-// momentsOf computes the mean and per-dimension variance of points.
-func momentsOf(pts []linalg.Vec) (linalg.Vec, linalg.Vec) {
-	d := len(pts[0])
-	mean := linalg.NewVec(d)
-	variance := linalg.NewVec(d)
-	for _, x := range pts {
-		x.AddTo(mean)
-	}
-	mean.ScaleInPlace(1 / float64(len(pts)))
-	for _, x := range pts {
-		for i := range x {
-			df := x[i] - mean[i]
-			variance[i] += df * df
-		}
-	}
-	variance.ScaleInPlace(1 / float64(len(pts)))
-	return mean, variance
 }

@@ -40,22 +40,17 @@ func RunPS(cl *sim.Cluster, cfg Config, psCfg psengine.Config) (*task.Result, er
 	machines := cl.NumMachines()
 	eng := psengine.New(cl, psCfg)
 
-	machinePts := make([][]linalg.Vec, machines)
-	var allPts []linalg.Vec
-	for mc := 0; mc < machines; mc++ {
-		machinePts[mc] = genMachineData(cl, cfg, mc)
-		allPts = append(allPts, machinePts[mc]...)
-	}
+	srcs := machineSources(cl, cfg, machines)
 	err := eng.Load("gmm-ps-load", func(w int, m *sim.Meter) error {
 		m.SetProfile(sim.ProfileCPP)
-		m.ChargeTuples(len(machinePts[w]))
-		return m.AllocData(int64(len(machinePts[w]))*pointBytes(sim.ProfileCPP, cfg.D), "ps gmm data")
+		m.ChargeTuples(srcs[w].Len())
+		return m.AllocData(int64(srcs[w].Len())*pointBytes(sim.ProfileCPP, cfg.D), "ps gmm data")
 	})
 	if err != nil {
 		return res, fmt.Errorf("gmm ps: load: %w", err)
 	}
 
-	mean, variance := momentsOf(allPts)
+	mean, variance := momentsOfSources(srcs, cfg.D)
 	h := gmm.HyperFromMoments(cfg.K, mean, variance)
 	rng := randgen.New(cfg.Seed ^ 0x61a4)
 	var params *gmm.Params
@@ -78,8 +73,8 @@ func RunPS(cl *sim.Cluster, cfg Config, psCfg psengine.Config) (*task.Result, er
 	// the model), but drawing them keeps the streams aligned.
 	err = eng.Load("gmm-ps-init-members", func(w int, m *sim.Meter) error {
 		m.SetProfile(sim.ProfileCPP)
-		m.ChargeTuples(len(machinePts[w]))
-		for range machinePts[w] {
+		m.ChargeTuples(srcs[w].Len())
+		for i := 0; i < srcs[w].Len(); i++ {
 			_ = m.RNG().Intn(cfg.K)
 		}
 		return nil
@@ -99,7 +94,7 @@ func RunPS(cl *sim.Cluster, cfg Config, psCfg psengine.Config) (*task.Result, er
 
 	pullB := float64(params.Bytes())
 	pushB := float64(cfg.K) * float64(statBytes(cfg.D))
-	diagPts := genMachineData(cl, cfg, 0)
+	diagSrc := srcs[0]
 	locals := make([]*gmm.Stats, machines)
 	for iter := 0; iter < cfg.Iterations; iter++ {
 		gathered := gmm.NewStats(cfg.K, cfg.D)
@@ -110,10 +105,10 @@ func RunPS(cl *sim.Cluster, cfg Config, psCfg psengine.Config) (*task.Result, er
 			Compute: func(w, version int, m *sim.Meter) error {
 				p := snaps[version]
 				local := gmm.NewStats(cfg.K, cfg.D)
-				for _, x := range machinePts[w] {
+				srcs[w].Each(func(x linalg.Vec) {
 					m.ChargeLinalg(cfg.K+1, (gmm.MembershipFlops(cfg.K, cfg.D)+float64(cfg.D*cfg.D))/float64(cfg.K+1), cfg.D)
 					local.Add(p.SampleMembership(m.RNG(), x), x, 1)
-				}
+				})
 				locals[w] = local
 				return nil
 			},
@@ -142,7 +137,7 @@ func RunPS(cl *sim.Cluster, cfg Config, psCfg psengine.Config) (*task.Result, er
 			snaps[v] = nil
 		}
 		res.IterSecs = append(res.IterSecs, sw.Lap())
-		res.Record(chainPoint(diagPts, params))
+		res.Record(chainPoint(diagSrc, params))
 	}
 	recordQuality(cl, cfg, params, res)
 	return res, nil

@@ -40,7 +40,7 @@ func (v *memberVG) Apply(m relational.VGMeter, rows []relational.Tuple) []relati
 type svStatsVG struct {
 	d, k   int
 	params *gmm.Params
-	points [][]linalg.Vec // indexed by super-vertex id
+	srcs   []*sim.Source[linalg.Vec] // indexed by super-vertex id
 }
 
 func (v *svStatsVG) Name() string { return "sv_gmm_stats" }
@@ -55,11 +55,11 @@ func (v *svStatsVG) OutSchema() relational.Schema {
 func (v *svStatsVG) Apply(m relational.VGMeter, rows []relational.Tuple) []relational.Tuple {
 	stats := gmm.NewStats(v.k, v.d)
 	for _, row := range rows {
-		pts := v.points[row.Int(0)]
-		m.ChargeOpsData(len(pts)*v.k, (gmm.MembershipFlops(v.k, v.d)+float64(v.d*v.d))/float64(v.k), v.d)
-		for _, x := range pts {
+		src := v.srcs[row.Int(0)]
+		m.ChargeOpsData(src.Len()*v.k, (gmm.MembershipFlops(v.k, v.d)+float64(v.d*v.d))/float64(v.k), v.d)
+		src.Each(func(x linalg.Vec) {
 			stats.Add(v.params.SampleMembership(m.RNG(), x), x, 1)
-		}
+		})
 	}
 	// Emit the pre-aggregated statistics: counts at (d1=-1,d2=-1), sums
 	// at (d1, -1), second moments at (d1, d2).
@@ -91,25 +91,32 @@ func RunSimSQL(cl *sim.Cluster, cfg Config) (*task.Result, error) {
 	sw := task.NewStopwatch(cl)
 	machines := cl.NumMachines()
 
-	// Build the data relation (data_id, dim_id, val), one partition per
-	// machine, plus task-local dense points for VG capture.
+	// The data relation (data_id, dim_id, val) is generator-backed: one
+	// partition per machine, streamed tuple-per-dimension from the
+	// machine's point source whenever a scan walks it, never resident.
 	dataT := relational.NewTable("data", relational.Schema{
 		{Name: "data_id", Kind: relational.KindInt},
 		{Name: "dim_id", Kind: relational.KindInt},
 		{Name: "val", Kind: relational.KindFloat},
 	}, machines)
 	dataT.Scaled = true
-	allPoints := make([][]linalg.Vec, machines)
+	srcs := machineSources(cl, cfg, machines)
+	idBase := make([]int, machines)
+	dataT.GenRows = make([]int, machines)
 	nextID := 0
-	for mc := 0; mc < machines; mc++ {
-		pts := genMachineData(cl, cfg, mc)
-		allPoints[mc] = pts
-		for _, x := range pts {
+	for mc, src := range srcs {
+		idBase[mc] = nextID
+		nextID += src.Len()
+		dataT.GenRows[mc] = src.Len() * cfg.D
+	}
+	dataT.Gen = func(part int, yield func(relational.Tuple)) {
+		id := idBase[part]
+		srcs[part].Each(func(x linalg.Vec) {
 			for d, v := range x {
-				dataT.Parts[mc] = append(dataT.Parts[mc], relational.T(float64(nextID), float64(d), v))
+				yield(relational.T(float64(id), float64(d), v))
 			}
-			nextID++
-		}
+			id++
+		})
 	}
 
 	// Initialization: empirical hyperparameters via two aggregation
@@ -163,7 +170,7 @@ func RunSimSQL(cl *sim.Cluster, cfg Config) (*task.Result, error) {
 		svT.Parts[mc] = []relational.Tuple{relational.T(float64(mc))}
 	}
 
-	diagPts := genMachineData(cl, cfg, 0)
+	diagSrc := srcs[0]
 	for iter := 0; iter < cfg.Iterations; iter++ {
 		// The model tables are replicated to every machine for VG
 		// parameterization.
@@ -172,7 +179,7 @@ func RunSimSQL(cl *sim.Cluster, cfg Config) (*task.Result, error) {
 		}
 		stats := gmm.NewStats(cfg.K, cfg.D)
 		if cfg.SuperVertex {
-			vg := &svStatsVG{d: cfg.D, k: cfg.K, params: params, points: allPoints}
+			vg := &svStatsVG{d: cfg.D, k: cfg.K, params: params, srcs: srcs}
 			statsT, err := eng.Run("sv_stats", relational.AsModelP(relational.GroupAggP(
 				relational.VGApplyP(vg, 0, relational.ScanT(svT), true),
 				[]int{0, 1, 2},
@@ -243,7 +250,7 @@ func RunSimSQL(cl *sim.Cluster, cfg Config) (*task.Result, error) {
 			return res, fmt.Errorf("gmm simsql iter %d: update: %w", iter, err)
 		}
 		res.IterSecs = append(res.IterSecs, sw.Lap())
-		res.Record(chainPoint(diagPts, params))
+		res.Record(chainPoint(diagSrc, params))
 	}
 	recordQuality(cl, cfg, params, res)
 	return res, nil

@@ -40,27 +40,23 @@ func RunSpark(cl *sim.Cluster, cfg Config, profile sim.Profile) (*task.Result, e
 	ctx := dataflow.NewContext(cl, profile)
 	sw := task.NewStopwatch(cl)
 
-	parts := cl.NumMachines() * cl.Config().Cores
-	perPart := make([][]linalg.Vec, parts)
-	for machine := 0; machine < cl.NumMachines(); machine++ {
-		pts := genMachineData(cl, cfg, machine)
-		// Split the machine's points over its core-partitions.
-		local := 0
-		for p := machine; p < parts; p += cl.NumMachines() {
-			local++
-			_ = p
-		}
-		i := 0
-		for p := machine; p < parts; p += cl.NumMachines() {
-			lo := i * len(pts) / local
-			hi := (i + 1) * len(pts) / local
-			perPart[p] = pts[lo:hi]
-			i++
-		}
-	}
+	machines := cl.NumMachines()
+	parts := machines * cl.Config().Cores
+	srcs := machineSources(cl, cfg, machines)
+	// Partition p holds block p/machines of machine p%machines's stream
+	// (partition p lives on machine p%machines — dataflow.machineFor),
+	// split evenly over the machine's core-partitions. Generation is
+	// lazy: nothing is resident until an action computes a partition.
+	local := parts / machines
 	ptBytes := pointBytes(profile, cfg.D)
 	data := dataflow.Generate(ctx, parts, func(linalg.Vec) int64 { return ptBytes },
-		func(p int, r *randgen.RNG) []linalg.Vec { return perPart[p] }).SetName("data").Cache()
+		func(p int, r *randgen.RNG) []linalg.Vec {
+			src := srcs[p%machines]
+			i := p / machines
+			lo := i * src.Len() / local
+			hi := (i + 1) * src.Len() / local
+			return src.MaterializeRange(lo, hi)
+		}).SetName("data").Cache()
 
 	// Hyperparameters: count, mean, and diagonal variance of the data.
 	type moments struct {
@@ -127,7 +123,7 @@ func RunSpark(cl *sim.Cluster, cfg Config, profile sim.Profile) (*task.Result, e
 		return addStat(a, b)
 	}
 
-	diagPts := genMachineData(cl, cfg, 0)
+	diagSrc := srcs[0]
 	for iter := 0; iter < cfg.Iterations; iter++ {
 		// Task closures serialize the model to every executor.
 		if err := ctx.Broadcast(params.Bytes(), "gmm model"); err != nil {
@@ -186,7 +182,7 @@ func RunSpark(cl *sim.Cluster, cfg Config, profile sim.Profile) (*task.Result, e
 		}
 		ctx.ReleaseBroadcast(params.Bytes())
 		res.IterSecs = append(res.IterSecs, sw.Lap())
-		res.Record(chainPoint(diagPts, params))
+		res.Record(chainPoint(diagSrc, params))
 	}
 	recordQuality(cl, cfg, params, res)
 	return res, nil
@@ -202,16 +198,26 @@ func scaleStats(s *gmm.Stats, scale float64) {
 	}
 }
 
-// chainPoint is the per-iteration quality statistic shared by all four
+// chainPoint is the per-iteration quality statistic shared by all five
 // GMM implementations: the model's average log-likelihood over machine
-// 0's real data. With matched data seeds every platform scores the same
-// points, so the resulting chains are directly comparable (not charged).
-func chainPoint(pts []linalg.Vec, params *gmm.Params) float64 {
-	return params.LogLikelihood(pts) / float64(len(pts))
+// 0's real data, streamed point by point. With matched data seeds every
+// platform scores the same points, so the resulting chains are directly
+// comparable (not charged). The running sum adds one point at a time —
+// the same accumulation order as a single LogLikelihood call over the
+// materialized slice, so the chain is byte-identical to the pre-streamed
+// implementation.
+func chainPoint(src *sim.Source[linalg.Vec], params *gmm.Params) float64 {
+	var total float64
+	one := make([]linalg.Vec, 1)
+	src.Each(func(x linalg.Vec) {
+		one[0] = x
+		total += params.LogLikelihood(one)
+	})
+	return total / float64(src.Len())
 }
 
 // recordQuality stores the final model log-likelihood over machine 0's
 // real data (a cross-platform comparable diagnostic; not charged).
 func recordQuality(cl *sim.Cluster, cfg Config, params *gmm.Params, res *task.Result) {
-	res.SetMetric("loglike", chainPoint(genMachineData(cl, cfg, 0), params))
+	res.SetMetric("loglike", chainPoint(machineSource(cl, cfg, 0), params))
 }

@@ -53,10 +53,6 @@ type Config struct {
 	// optimizer's cross-product fallback instead of the stored-nextPos
 	// equi-join (the Section 7.2 quirk; used by the ablation bench).
 	UseArithJoinQuirk bool
-	// AliasCorpus generates the corpus through the Walker alias sampler
-	// (same distribution, O(1) per word instead of O(log V)); the word
-	// stream differs from the default CDF path, so this is opt-in.
-	AliasCorpus bool
 	// Sampler selects the state hot-path tier (dense scan, per-position
 	// alias, or cached Metropolis-Hastings); the default dense tier is
 	// byte-identical to the historical sampler.
@@ -113,7 +109,7 @@ func genMachineDocs(cl *sim.Cluster, cfg Config, machine int) [][]int {
 	}
 	return workload.GenCorpus(rng, workload.CorpusConfig{
 		Docs: n, Vocab: cfg.V, AvgLen: cfg.AvgDocLen, Topics: topics,
-		UseAlias: cfg.AliasCorpus, Sampler: cfg.Sampler,
+		Sampler: cfg.Sampler,
 	})
 }
 

@@ -54,10 +54,6 @@ type Config struct {
 	Variant        Variant
 	SVPerMachine   int
 	Seed           uint64
-	// AliasCorpus generates the corpus through the Walker alias sampler
-	// (same distribution, O(1) per word instead of O(log V)); the word
-	// stream differs from the default CDF path, so this is opt-in.
-	AliasCorpus bool
 	// Sampler selects the token hot-path tier (dense scan, per-token
 	// alias, or cached Metropolis-Hastings); the default dense tier is
 	// byte-identical to the historical sampler.
@@ -114,7 +110,7 @@ func genMachineDocs(cl *sim.Cluster, cfg Config, machine int) [][]int {
 	}
 	return workload.GenCorpus(rng, workload.CorpusConfig{
 		Docs: n, Vocab: cfg.V, AvgLen: cfg.AvgDocLen, Topics: topics,
-		UseAlias: cfg.AliasCorpus, Sampler: cfg.Sampler,
+		Sampler: cfg.Sampler,
 	})
 }
 

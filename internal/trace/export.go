@@ -5,9 +5,10 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"path/filepath"
 	"sort"
 	"strings"
+
+	"mlbench/internal/fsutil"
 )
 
 // This file renders a Recorder in three forms: Chrome trace-event JSON
@@ -147,17 +148,11 @@ func WriteChrome(w io.Writer, r *Recorder) error {
 	return err
 }
 
-// createOutput creates path's parent directories as needed before
-// creating the file, so an export to a not-yet-existing directory
-// succeeds instead of failing with a bare "open: no such file or
-// directory"; remaining failures name the path and operation.
+// createOutput creates the export file via fsutil (parent directories
+// as needed), so an export to a not-yet-existing directory succeeds
+// instead of failing with a bare "open: no such file or directory".
 func createOutput(path string) (*os.File, error) {
-	if dir := filepath.Dir(path); dir != "" && dir != "." {
-		if err := os.MkdirAll(dir, 0o755); err != nil {
-			return nil, fmt.Errorf("trace: create output directory %s: %w", dir, err)
-		}
-	}
-	f, err := os.Create(path)
+	f, err := fsutil.Create(path)
 	if err != nil {
 		return nil, fmt.Errorf("trace: create output file: %w", err)
 	}

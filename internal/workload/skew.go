@@ -106,34 +106,13 @@ func (c SkewedCorpusConfig) withDefaults() SkewedCorpusConfig {
 // Zipf-permuted word distributions with shared background words — but
 // with the shape knobs above. Word draws always go through the Walker
 // alias table (this is a new stream; there is no historical CDF path to
-// preserve), so generation is O(1) per word.
+// preserve), so generation is O(1) per word. It materializes
+// OpenCorpusSkewed's stream.
 func GenCorpusSkewed(rng *randgen.RNG, cfg SkewedCorpusConfig) [][]int {
-	cfg = cfg.withDefaults()
-	words := randgen.NewAlias(ZipfWeights(cfg.Vocab, cfg.ZipfS))
-	perms := make([][]int, cfg.Topics)
-	for t := range perms {
-		perms[t] = rng.Perm(cfg.Vocab)
-	}
-	var topicPick func() int
-	if cfg.TopicSkew > 0 && cfg.Topics > 1 {
-		topics := randgen.NewAlias(ZipfWeights(cfg.Topics, cfg.TopicSkew))
-		topicPick = func() int { return topics.Draw(rng) }
-	} else {
-		topicPick = func() int { return rng.Intn(cfg.Topics) }
-	}
+	next := OpenCorpusSkewed(rng, cfg)
 	docs := make([][]int, cfg.Docs)
 	for d := range docs {
-		length := SampleDocLen(rng, cfg.LenDist, float64(cfg.AvgLen), cfg.LenSigma)
-		t := topicPick()
-		ws := make([]int, length)
-		for i := range ws {
-			if cfg.Topics > 1 && rng.Float64() < cfg.Background {
-				ws[i] = perms[0][words.Draw(rng)]
-			} else {
-				ws[i] = perms[t][words.Draw(rng)]
-			}
-		}
-		docs[d] = ws
+		docs[d] = next()
 	}
 	return docs
 }

@@ -9,8 +9,6 @@
 package workload
 
 import (
-	"math"
-
 	"mlbench/internal/linalg"
 	"mlbench/internal/randgen"
 )
@@ -120,20 +118,15 @@ func GenRegression(rng *randgen.RNG, cfg RegressionConfig) *RegressionData {
 }
 
 // GenRegressionWithBeta draws n observations from a fixed coefficient
-// vector (so machines of a distributed run share one planted truth).
+// vector (so machines of a distributed run share one planted truth). It
+// materializes OpenRegressionWithBeta's stream.
 func GenRegressionWithBeta(rng *randgen.RNG, beta linalg.Vec, n int, noise float64) *RegressionData {
-	if noise == 0 {
-		noise = 1
-	}
+	next := OpenRegressionWithBeta(rng, beta, noise)
 	out := &RegressionData{TrueBeta: beta, Y: make(linalg.Vec, n)}
-	p := len(beta)
 	for i := 0; i < n; i++ {
-		x := make(linalg.Vec, p)
-		for j := range x {
-			x[j] = rng.Norm()
-		}
-		out.X = append(out.X, x)
-		out.Y[i] = x.Dot(beta) + rng.Normal(0, noise)
+		o := next()
+		out.X = append(out.X, o.X)
+		out.Y[i] = o.Y
 	}
 	return out
 }
@@ -162,89 +155,25 @@ type CorpusConfig struct {
 	Vocab  int // dictionary size (paper: 10,000)
 	AvgLen int // average document length (paper: ~210)
 	Topics int // planted latent structure groups (0 = pure Zipf)
-	// UseAlias samples words through a Walker alias table (O(1) per word)
-	// instead of the CDF binary search (O(log V)). The distribution is
-	// identical but the draw consumes randomness differently, so the word
-	// stream changes; tasks opt in explicitly and the default path stays
-	// byte-identical.
-	UseAlias bool
-	// Sampler is the task's sampler tier. Any non-dense tier implies the
-	// alias word-draw path above: a run that opted out of the O(T) token
-	// scan should not pay the O(log V) corpus draw either.
+	// Sampler is the task's sampler tier — the one sampler knob. The
+	// dense default draws words through the historical CDF binary search
+	// (O(log V), byte-identical to the paper tables); any non-dense tier
+	// draws through a Walker alias table (O(1) per word): a run that
+	// opted out of the O(T) token scan should not pay the O(log V)
+	// corpus draw either. The distributions are identical but the draws
+	// consume randomness differently, so the word streams differ.
 	Sampler randgen.SamplerTier
 }
 
 // GenCorpus generates documents. With Topics > 0, each document draws
 // from a planted per-topic Zipf-permuted word distribution so that topic
 // and HMM learners have real structure to recover; lengths vary ±50%
-// around AvgLen.
+// around AvgLen. It materializes OpenCorpus's stream.
 func GenCorpus(rng *randgen.RNG, cfg CorpusConfig) [][]int {
-	if cfg.AvgLen == 0 {
-		cfg.AvgLen = 210
-	}
-	topics := cfg.Topics
-	if topics <= 0 {
-		topics = 1
-	}
-	// Per-topic word distributions: a Zipf profile over a topic-specific
-	// permutation of the dictionary, so topics prefer disjoint-ish words.
-	// All topics share one Zipf rank profile; only the permutation differs.
-	weights := make([]float64, cfg.Vocab)
-	var total float64
-	for r := 0; r < cfg.Vocab; r++ {
-		w := 1 / math.Pow(float64(r+1), 1.05)
-		weights[r] = w
-		total += w
-	}
-	perms := make([][]int, topics)
-	for t := 0; t < topics; t++ {
-		perms[t] = rng.Perm(cfg.Vocab)
-	}
-	var sample func(t int) int
-	if cfg.UseAlias || cfg.Sampler != randgen.TierDense {
-		at := randgen.NewAlias(weights)
-		sample = func(t int) int {
-			return perms[t][at.Draw(rng)]
-		}
-	} else {
-		cdf := make([]float64, cfg.Vocab)
-		var acc float64
-		for r := range weights {
-			acc += weights[r] / total
-			cdf[r] = acc
-		}
-		sample = func(t int) int {
-			u := rng.Float64()
-			// Binary search the cdf.
-			lo, hi := 0, cfg.Vocab-1
-			for lo < hi {
-				mid := (lo + hi) / 2
-				if cdf[mid] < u {
-					lo = mid + 1
-				} else {
-					hi = mid
-				}
-			}
-			return perms[t][lo]
-		}
-	}
+	next := OpenCorpus(rng, cfg)
 	docs := make([][]int, cfg.Docs)
 	for d := range docs {
-		length := cfg.AvgLen/2 + rng.Intn(cfg.AvgLen+1)
-		if length < 2 {
-			length = 2
-		}
-		t := rng.Intn(topics)
-		words := make([]int, length)
-		for i := range words {
-			if topics > 1 && rng.Float64() < 0.1 {
-				// Background words shared across topics.
-				words[i] = sample(0)
-			} else {
-				words[i] = sample(t)
-			}
-		}
-		docs[d] = words
+		docs[d] = next()
 	}
 	return docs
 }

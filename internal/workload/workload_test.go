@@ -241,8 +241,8 @@ func TestGenCorpusAliasSameDistribution(t *testing.T) {
 	// The alias path draws from the same Zipf profile as the CDF path: the
 	// aggregate word-frequency ranks must agree even though the word
 	// streams differ (the samplers consume randomness differently).
-	count := func(useAlias bool) []int {
-		cfg := CorpusConfig{Docs: 400, Vocab: 200, AvgLen: 100, Topics: 1, UseAlias: useAlias}
+	count := func(tier randgen.SamplerTier) []int {
+		cfg := CorpusConfig{Docs: 400, Vocab: 200, AvgLen: 100, Topics: 1, Sampler: tier}
 		counts := make([]int, cfg.Vocab)
 		for _, doc := range GenCorpus(randgen.New(17), cfg) {
 			for _, w := range doc {
@@ -251,7 +251,7 @@ func TestGenCorpusAliasSameDistribution(t *testing.T) {
 		}
 		return counts
 	}
-	cdf, alias := count(false), count(true)
+	cdf, alias := count(randgen.TierDense), count(randgen.TierAlias)
 	// Compare the head of the distribution: each of the top ranks should
 	// carry a similar share under both samplers.
 	var cdfTotal, aliasTotal int
@@ -270,13 +270,13 @@ func TestGenCorpusAliasSameDistribution(t *testing.T) {
 }
 
 func TestGenCorpusSamplerTierImpliesAlias(t *testing.T) {
-	// A non-dense sampler tier routes corpus generation through the alias
-	// word draw: the stream must match UseAlias exactly, and differ from
-	// the dense CDF stream.
+	// Every non-dense sampler tier routes corpus generation through the
+	// alias word draw: the mhalias stream must match the alias tier's
+	// exactly, and differ from the dense CDF stream.
 	base := CorpusConfig{Docs: 10, Vocab: 100, AvgLen: 30, Topics: 2}
 	gen := func(cfg CorpusConfig) [][]int { return GenCorpus(randgen.New(41), cfg) }
 	aliasCfg, tierCfg := base, base
-	aliasCfg.UseAlias = true
+	aliasCfg.Sampler = randgen.TierAlias
 	tierCfg.Sampler = randgen.TierMHAlias
 	dense, alias, tier := gen(base), gen(aliasCfg), gen(tierCfg)
 	same := func(a, b [][]int) bool {
@@ -293,7 +293,7 @@ func TestGenCorpusSamplerTierImpliesAlias(t *testing.T) {
 		return true
 	}
 	if !same(alias, tier) {
-		t.Error("Sampler: mhalias corpus differs from UseAlias corpus")
+		t.Error("Sampler: mhalias corpus differs from the alias-tier corpus")
 	}
 	if same(dense, tier) {
 		t.Error("Sampler: mhalias corpus unexpectedly matches the dense CDF stream")
